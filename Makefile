@@ -1,0 +1,48 @@
+# Reproduction of "Efficient Web Services Response Caching by Selecting
+# Optimal Data Representation" (ICDCS 2004). See README.md.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench tables figures fuzz generate clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/... ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Regenerate every table and figure of the paper's evaluation.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+tables:
+	$(GO) run ./cmd/wscache-bench
+
+figures:
+	$(GO) run ./cmd/portalbench -figure 3
+	$(GO) run ./cmd/portalbench -figure 4
+
+# Brief fuzzing pass over the wire-facing surfaces.
+fuzz:
+	$(GO) test -fuzz FuzzScanner -fuzztime 30s ./internal/xmltext
+	$(GO) test -fuzz FuzzEscapeRoundTrip -fuzztime 30s ./internal/xmltext
+	$(GO) test -fuzz FuzzDecodeEnvelope -fuzztime 30s ./internal/soap
+
+# Regenerate the checked-in WSDL compiler output.
+generate:
+	$(GO) run ./cmd/wsdlgen -pkg googlegen -o internal/googlegen/googlegen.go
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

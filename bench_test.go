@@ -1,0 +1,710 @@
+// Benchmarks regenerating the paper's evaluation (Section 5), one
+// benchmark family per table/figure:
+//
+//   - BenchmarkTable6_*: cache-key generation per method per operation
+//   - BenchmarkTable7_*: cached-data retrieval per representation per op
+//   - BenchmarkTable8 / BenchmarkTable9: memory sizes (reported as
+//     custom metrics, bytes do not vary with b.N)
+//   - BenchmarkFigure3 / BenchmarkFigure4: the portal scenario sweep
+//     (run with -benchtime 1x; each iteration is a full sweep)
+//   - BenchmarkAblation*: the design-choice ablations from DESIGN.md §5
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/googleapi"
+	"repro/internal/sax"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+// env is shared by all benchmarks; building it is cheap and
+// deterministic.
+func env(b *testing.B) *bench.Env {
+	b.Helper()
+	e, err := bench.NewEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// --- Table 6: cache key generation -----------------------------------
+
+func benchKeyGen(b *testing.B, gen func(e *bench.Env) core.KeyGenerator) {
+	e := env(b)
+	g := gen(e)
+	for _, op := range e.Ops {
+		b.Run(op.Label, func(b *testing.B) {
+			if _, err := g.Key(op.Ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Key(op.Ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable6_KeyXMLMessage(b *testing.B) {
+	benchKeyGen(b, func(e *bench.Env) core.KeyGenerator { return core.NewXMLMessageKey(e.Codec) })
+}
+
+func BenchmarkTable6_KeyBinarySerialization(b *testing.B) {
+	benchKeyGen(b, func(e *bench.Env) core.KeyGenerator { return core.NewBinserKey(e.Reg) })
+}
+
+func BenchmarkTable6_KeyStringConcat(b *testing.B) {
+	benchKeyGen(b, func(e *bench.Env) core.KeyGenerator { return core.NewStringKey() })
+}
+
+// --- Table 7: cached data retrieval -----------------------------------
+
+// benchStoreLoad measures ValueStore.Load per operation; inapplicable
+// combinations are skipped, mirroring the paper's n/a cells.
+func benchStoreLoad(b *testing.B, mk func(e *bench.Env) core.ValueStore, skip map[string]bool) {
+	e := env(b)
+	store := mk(e)
+	for _, op := range e.Ops {
+		b.Run(op.Label, func(b *testing.B) {
+			if skip[op.Op] {
+				b.Skipf("n/a: %s does not apply to %s (paper Table 7)", store.Name(), op.Op)
+			}
+			payload, _, err := store.Store(op.Ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := store.Load(payload); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Load(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable7_LoadXMLMessage(b *testing.B) {
+	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewXMLMessageStore(e.Codec) }, nil)
+}
+
+func BenchmarkTable7_LoadSAXEvents(b *testing.B) {
+	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewSAXEventsStore(e.Codec) }, nil)
+}
+
+func BenchmarkTable7_LoadBinarySerialization(b *testing.B) {
+	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewBinserStore(e.Reg) }, nil)
+}
+
+func BenchmarkTable7_LoadReflectCopy(b *testing.B) {
+	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewReflectCopyStore(e.Reg) },
+		map[string]bool{googleapi.OpSpellingSuggestion: true})
+}
+
+func BenchmarkTable7_LoadCloneCopy(b *testing.B) {
+	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewCloneCopyStore() },
+		map[string]bool{googleapi.OpSpellingSuggestion: true, googleapi.OpGetCachedPage: true})
+}
+
+func BenchmarkTable7_LoadPassByReference(b *testing.B) {
+	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewRefStore(e.Reg, true) }, nil)
+}
+
+// BenchmarkTable7_LoadDOMTree is an extra row beyond the paper's six:
+// the DOM post-parsing representation Section 3.3 names alongside SAX
+// event sequences.
+func BenchmarkTable7_LoadDOMTree(b *testing.B) {
+	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewDOMStore(e.Codec) }, nil)
+}
+
+// --- Tables 8 and 9: memory sizes --------------------------------------
+
+// BenchmarkTable8 reports key sizes as custom metrics (bytes are not a
+// function of b.N; the loop exists to satisfy the benchmark contract).
+func BenchmarkTable8(b *testing.B) {
+	e := env(b)
+	t8, err := e.Table8()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = t8
+	}
+	for _, row := range t8.Rows {
+		for j, col := range t8.Columns {
+			b.ReportMetric(row.Cells[j].Value, metricName(row.Name, col))
+		}
+	}
+}
+
+// BenchmarkTable9 reports cached-object sizes as custom metrics.
+func BenchmarkTable9(b *testing.B) {
+	e := env(b)
+	t9, err := e.Table9()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = t9
+	}
+	for _, row := range t9.Rows {
+		for j, col := range t9.Columns {
+			b.ReportMetric(row.Cells[j].Value, metricName(row.Name, col))
+		}
+	}
+}
+
+// metricName builds a compact go-bench metric suffix.
+func metricName(row, col string) string {
+	clean := func(s string) string {
+		out := make([]rune, 0, len(s))
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+				out = append(out, r)
+			}
+		}
+		return string(out)
+	}
+	return fmt.Sprintf("%s_%s_bytes", clean(row), clean(col))
+}
+
+// --- Figures 3 and 4: portal scenario ----------------------------------
+
+// benchFigure runs one full sweep per iteration; invoke with
+// -benchtime 1x for a single sweep, and read the printed series.
+func benchFigure(b *testing.B, concurrency int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Figure(bench.FigureConfig{
+			Concurrency:      concurrency,
+			RequestsPerPoint: 300,
+			HotQueries:       4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", bench.FormatFigure(
+				fmt.Sprintf("Figure (concurrency %d)", concurrency),
+				"portal scenario sweep", series))
+		}
+	}
+}
+
+func BenchmarkFigure3_PortalSequential(b *testing.B) { benchFigure(b, 1) }
+
+func BenchmarkFigure4_PortalConcurrent25(b *testing.B) { benchFigure(b, 25) }
+
+// --- Ablations (DESIGN.md §5) ------------------------------------------
+
+// BenchmarkAblationGobVsBinser documents why encoding/gob is not the
+// serialization representation: its per-message overhead at these
+// sizes.
+func BenchmarkAblationGobVsBinser(b *testing.B) {
+	e := env(b)
+	op, _ := e.Fixture(googleapi.OpGoogleSearch)
+	for _, mk := range []func() core.ValueStore{
+		func() core.ValueStore { return core.NewGobStore(e.Reg) },
+		func() core.ValueStore { return core.NewBinserStore(e.Reg) },
+	} {
+		store := mk()
+		b.Run(store.Name(), func(b *testing.B) {
+			payload, _, err := store.Store(op.Ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Load(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStoreCopy compares storing with copy-on-store (the
+// call-by-copy-correct design) against a hypothetical reference store,
+// quantifying what correctness costs on the miss path.
+func BenchmarkAblationStoreCopy(b *testing.B) {
+	e := env(b)
+	op, _ := e.Fixture(googleapi.OpGoogleSearch)
+	stores := []core.ValueStore{
+		core.NewReflectCopyStore(e.Reg), // deep copy on store
+		core.NewRefStore(e.Reg, true),   // no copy on store
+	}
+	for _, store := range stores {
+		b.Run(store.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := store.Store(op.Ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAutoClassifier measures the overhead of the Section
+// 6 run-time classifier against a statically configured store.
+func BenchmarkAblationAutoClassifier(b *testing.B) {
+	e := env(b)
+	op, _ := e.Fixture(googleapi.OpGoogleSearch)
+	static := core.NewCloneCopyStore() // what Auto picks for this type
+	auto := core.NewAutoStore(e.Reg, e.Codec)
+
+	b.Run("static clone", func(b *testing.B) {
+		payload, _, err := static.Store(op.Ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := static.Load(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("auto classifier", func(b *testing.B) {
+		payload, _, err := auto.Store(op.Ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := auto.Load(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParseVsReplay isolates the tokenization cost the SAX
+// representation saves: full parse+deserialize vs replay+deserialize of
+// the same response.
+func BenchmarkAblationParseVsReplay(b *testing.B) {
+	e := env(b)
+	op, _ := e.Fixture(googleapi.OpGoogleSearch)
+	b.Run("parse+deserialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Codec.DecodeEnvelope(op.Ctx.ResponseXML); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replay+deserialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Codec.DecodeEnvelopeEvents(op.Ctx.ResponseEvents); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parse only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := sax.Parse(op.Ctx.ResponseXML, sax.NopHandler{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationEventRecordingTee measures the client-side cost of
+// recording the SAX event sequence during the response parse (the
+// RecordEvents option): one parse teed to two consumers vs one.
+func BenchmarkAblationEventRecordingTee(b *testing.B) {
+	e := env(b)
+	op, _ := e.Fixture(googleapi.OpGoogleSearch)
+	b.Run("decode only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dh := e.Codec.NewDecodeHandler()
+			if err := sax.Parse(op.Ctx.ResponseXML, dh.Handler()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode+record tee", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dh := e.Codec.NewDecodeHandler()
+			rec := sax.NewRecorder()
+			if err := sax.Parse(op.Ctx.ResponseXML, sax.Tee(rec, dh.Handler())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationKeyLength isolates the table-lookup cost of key
+// representation: longer keys (the XML message) hash and compare
+// slower than compact string keys, on top of their generation cost.
+func BenchmarkAblationKeyLength(b *testing.B) {
+	e := env(b)
+	op, _ := e.Fixture(googleapi.OpGoogleSearch)
+	gens := []core.KeyGenerator{
+		core.NewXMLMessageKey(e.Codec),
+		core.NewBinserKey(e.Reg),
+		core.NewStringKey(),
+	}
+	for _, g := range gens {
+		key, err := g.Key(op.Ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table := map[string]int{key: 1}
+		// Populate with sibling keys so the map has realistic buckets.
+		for i := 0; i < 1000; i++ {
+			c2 := *op.Ctx
+			c2.Operation = fmt.Sprintf("op%d", i)
+			k2, err := g.Key(&c2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			table[k2] = i
+		}
+		b.Run(fmt.Sprintf("%s/len=%d", g.Name(), len(key)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if table[key] != 1 {
+					b.Fatal("lookup failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScannerVsStdlib compares the from-scratch tokenizer
+// against encoding/xml on the GoogleSearch response, validating that
+// the substrate's XML costs are not artificially inflated.
+func BenchmarkAblationScannerVsStdlib(b *testing.B) {
+	e := env(b)
+	op, _ := e.Fixture(googleapi.OpGoogleSearch)
+	doc := op.Ctx.ResponseXML
+
+	b.Run("internal xmltext+sax", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := sax.Parse(doc, sax.NopHandler{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stdlib encoding/xml", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dec := xml.NewDecoder(bytes.NewReader(doc))
+			for {
+				_, err := dec.Token()
+				if err != nil {
+					if err == io.EOF {
+						break
+					}
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationEventArena compares the naive []sax.Event cache
+// payload against the string-interned compact form: memory (reported as
+// a metric) versus per-hit replay cost.
+func BenchmarkAblationEventArena(b *testing.B) {
+	e := env(b)
+	op, _ := e.Fixture(googleapi.OpGoogleSearch)
+	stores := []core.ValueStore{
+		core.NewSAXEventsStore(e.Codec),
+		core.NewCompactSAXStore(e.Codec),
+	}
+	for _, store := range stores {
+		b.Run(store.Name(), func(b *testing.B) {
+			payload, size, err := store.Store(op.Ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(size), "payload_bytes")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Load(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEviction runs a cache under byte pressure vs
+// unbounded, measuring the cost of LRU bookkeeping and eviction on the
+// invocation path.
+func BenchmarkAblationEviction(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		maxBytes int
+	}{
+		{"unbounded", 0},
+		{"64KiB budget", 64 << 10},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			disp, codec, err := googleapi.NewDispatcher()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache := core.MustNew(core.Config{
+				KeyGen:     core.NewStringKey(),
+				Store:      core.NewAutoStore(codec.Registry(), codec),
+				DefaultTTL: time.Hour,
+				MaxBytes:   tc.maxBytes,
+			})
+			call := client.NewCall(codec, &transport.InProcess{Handler: disp},
+				googleapi.Endpoint, googleapi.Namespace, googleapi.OpGoogleSearch, "",
+				client.Options{RecordEvents: true, Handlers: []client.Handler{cache}})
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				params := googleapi.SearchParams("k", fmt.Sprintf("query %d", i%256), 0, 10, false, "", false, "")
+				if _, err := call.Invoke(ctx, params...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationServerVsClientCache compares where the cache lives:
+// client-side caching (the paper's design) eliminates the whole
+// pipeline on a hit; server-side response caching still pays request
+// serialization, transport, response parsing and deserialization on
+// every call. The paper's preference for client-side caching follows
+// directly (Section 1: "client-side caching can potentially achieve
+// the greatest reduction").
+func BenchmarkAblationServerVsClientCache(b *testing.B) {
+	params := googleapi.SearchParams("k", "steady query", 0, 10, false, "", false, "")
+	ctx := context.Background()
+
+	b.Run("server-side cache", func(b *testing.B) {
+		disp, codec, err := googleapi.NewDispatcher()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cached := server.NewResponseCache(disp, server.ResponseCacheConfig{TTL: time.Hour})
+		call := client.NewCall(codec, &transport.InProcess{Handler: cached},
+			googleapi.Endpoint, googleapi.Namespace, googleapi.OpGoogleSearch, "",
+			client.Options{})
+		if _, err := call.Invoke(ctx, params...); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := call.Invoke(ctx, params...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("client-side cache", func(b *testing.B) {
+		disp, codec, err := googleapi.NewDispatcher()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := core.MustNew(core.Config{
+			KeyGen:     core.NewStringKey(),
+			Store:      core.NewAutoStore(codec.Registry(), codec),
+			DefaultTTL: time.Hour,
+		})
+		call := client.NewCall(codec, &transport.InProcess{Handler: disp},
+			googleapi.Endpoint, googleapi.Namespace, googleapi.OpGoogleSearch, "",
+			client.Options{RecordEvents: true, Handlers: []client.Handler{cache}})
+		if _, err := call.Invoke(ctx, params...); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := call.Invoke(ctx, params...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("both", func(b *testing.B) {
+		disp, codec, err := googleapi.NewDispatcher()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cached := server.NewResponseCache(disp, server.ResponseCacheConfig{TTL: time.Hour})
+		cache := core.MustNew(core.Config{
+			KeyGen:     core.NewStringKey(),
+			Store:      core.NewAutoStore(codec.Registry(), codec),
+			DefaultTTL: time.Hour,
+		})
+		call := client.NewCall(codec, &transport.InProcess{Handler: cached},
+			googleapi.Endpoint, googleapi.Namespace, googleapi.OpGoogleSearch, "",
+			client.Options{RecordEvents: true, Handlers: []client.Handler{cache}})
+		if _, err := call.Invoke(ctx, params...); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := call.Invoke(ctx, params...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRevalidation compares refilling an expired entry
+// with a full response against refreshing it with a 304 validator
+// answer (the HTTP consistency integration, paper Section 3.2).
+func BenchmarkAblationRevalidation(b *testing.B) {
+	params := googleapi.SearchParams("k", "steady query", 0, 10, false, "", false, "")
+	ctx := context.Background()
+	newStack := func(revalidate bool) (*client.Call, func()) {
+		disp, codec, err := googleapi.NewDispatcher()
+		if err != nil {
+			b.Fatal(err)
+		}
+		disp.SetValidatorPolicy(time.Now().Add(-24*time.Hour), time.Minute)
+		nowSec := new(int64)
+		*nowSec = time.Now().Unix()
+		cache := core.MustNew(core.Config{
+			KeyGen:     core.NewStringKey(),
+			Store:      core.NewAutoStore(codec.Registry(), codec),
+			DefaultTTL: time.Minute,
+			Revalidate: revalidate,
+			Clock:      func() time.Time { return time.Unix(atomic.LoadInt64(nowSec), 0) },
+		})
+		call := client.NewCall(codec, &transport.InProcess{Handler: disp},
+			googleapi.Endpoint, googleapi.Namespace, googleapi.OpGoogleSearch, "",
+			client.Options{RecordEvents: true, Handlers: []client.Handler{cache}})
+		expire := func() { atomic.AddInt64(nowSec, 120) }
+		return call, expire
+	}
+	for _, mode := range []struct {
+		name       string
+		revalidate bool
+	}{
+		{"full refill", false},
+		{"304 revalidate", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			call, expire := newStack(mode.revalidate)
+			if _, err := call.Invoke(ctx, params...); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				expire() // force the entry stale before each call
+				if _, err := call.Invoke(ctx, params...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEnd compares a full uncached invocation against a
+// cache-hit invocation through the complete middleware stack — the
+// end-to-end version of the paper's headline claim.
+func BenchmarkEndToEnd(b *testing.B) {
+	newCall := func(withCache bool) (*client.Call, error) {
+		disp, codec, err := googleapi.NewDispatcher()
+		if err != nil {
+			return nil, err
+		}
+		var handlers []client.Handler
+		if withCache {
+			handlers = append(handlers, core.MustNew(core.Config{
+				KeyGen:     core.NewStringKey(),
+				Store:      core.NewAutoStore(codec.Registry(), codec),
+				DefaultTTL: time.Hour,
+			}))
+		}
+		return client.NewCall(codec, &transport.InProcess{Handler: disp},
+			googleapi.Endpoint, googleapi.Namespace, googleapi.OpGoogleSearch, "",
+			client.Options{RecordEvents: true, Handlers: handlers}), nil
+	}
+	params := googleapi.SearchParams("k", "steady query", 0, 10, false, "", false, "")
+	ctx := context.Background()
+
+	b.Run("uncached", func(b *testing.B) {
+		call, err := newCall(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := call.Invoke(ctx, params...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache hit", func(b *testing.B) {
+		call, err := newCall(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := call.Invoke(ctx, params...); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := call.Invoke(ctx, params...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSOAPCodec tracks the substrate itself: encoding and decoding
+// the Table 5 payloads.
+func BenchmarkSOAPCodec(b *testing.B) {
+	e := env(b)
+	for _, op := range e.Ops {
+		b.Run("encode/"+op.Label, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Codec.EncodeResponse(googleapi.Namespace, op.Op, op.Ctx.Result); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("decode/"+op.Label, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Codec.DecodeEnvelope(op.Ctx.ResponseXML); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+// Command dummygoogle serves the simulated Google Web services over
+// HTTP: the test double the paper's portal scenario calls (Section
+// 5.2). It exposes the SOAP endpoint at / and the service WSDL at
+// /wsdl.
+//
+// Usage:
+//
+//	dummygoogle -addr :8080          # full SOAP dispatcher
+//	dummygoogle -addr :8080 -fixed   # precomputed identical responses
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/googleapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	fixed := flag.Bool("fixed", false, "serve precomputed fixed responses (cheapest back end)")
+	ttl := flag.Duration("ttl", time.Hour, "Cache-Control max-age stamped on responses (0 disables)")
+	flag.Parse()
+
+	if err := run(*addr, *fixed, *ttl); err != nil {
+		fmt.Fprintln(os.Stderr, "dummygoogle:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, fixed bool, ttl time.Duration) error {
+	var soapHandler http.Handler
+	if fixed {
+		soapHandler = googleapi.NewFixedResponseHandler()
+	} else {
+		d, _, err := googleapi.NewDispatcher()
+		if err != nil {
+			return err
+		}
+		if ttl > 0 {
+			d.SetValidatorPolicy(time.Now(), ttl)
+		}
+		soapHandler = d
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", soapHandler)
+	mux.HandleFunc("/wsdl", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		_, _ = w.Write([]byte(googleapi.WSDL))
+	})
+
+	fmt.Fprintf(os.Stderr, "dummygoogle: serving %s (fixed=%v); WSDL at /wsdl\n", addr, fixed)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,87 @@
+// Command portalbench regenerates the paper's portal-site scenario
+// figures (Section 5.2): throughput and average response time of a
+// portal backed by dummy Google Web services through the caching
+// client, as the cache-hit ratio sweeps 0–100% for each cache value
+// representation.
+//
+// Usage:
+//
+//	portalbench -figure 3                # 1 user (no concurrency)
+//	portalbench -figure 4                # 25 concurrent users
+//	portalbench -requests 2000           # heavier run per point
+//	portalbench -figure 3 -store "Pass by Reference"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/googleapi"
+)
+
+func main() {
+	figure := flag.Int("figure", 3, "figure to regenerate: 3 (sequential) or 4 (25 concurrent users)")
+	requests := flag.Int("requests", 1000, "portal page requests per measured point")
+	hot := flag.Int("hot", 4, "distinct pre-warmed (hot) queries")
+	storeFilter := flag.String("store", "", "run only the named cache method (substring match)")
+	op := flag.String("op", googleapi.OpGoogleSearch, "back-end operation under load (doGoogleSearch, doSpellingSuggestion, doGetCachedPage)")
+	format := flag.String("format", "text", `output format: "text" or "csv"`)
+	flag.Parse()
+
+	if err := run(*figure, *requests, *hot, *storeFilter, *op, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "portalbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figure, requests, hot int, storeFilter, op, format string) error {
+	var concurrency int
+	var title string
+	switch figure {
+	case 3:
+		concurrency = 1
+		title = "Throughput and average response time without concurrent access"
+	case 4:
+		concurrency = 25
+		title = "Throughput and average response time with 25 concurrent accesses"
+	default:
+		return fmt.Errorf("no such figure %d (have 3 and 4)", figure)
+	}
+
+	stores := bench.FigureStores()
+	if storeFilter != "" {
+		var filtered []bench.StoreSpec
+		for _, s := range stores {
+			if strings.Contains(strings.ToLower(s.Name), strings.ToLower(storeFilter)) {
+				filtered = append(filtered, s)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("no cache method matches %q", storeFilter)
+		}
+		stores = filtered
+	}
+
+	fmt.Fprintf(os.Stderr, "portalbench: figure %d, op %s, %d requests/point, concurrency %d, %d methods × 6 ratios\n",
+		figure, op, requests, concurrency, len(stores))
+
+	series, err := bench.Figure(bench.FigureConfig{
+		Concurrency:      concurrency,
+		RequestsPerPoint: requests,
+		Stores:           stores,
+		HotQueries:       hot,
+		Operation:        op,
+	})
+	if err != nil {
+		return err
+	}
+	if format == "csv" {
+		fmt.Print(bench.CSVFigure(series))
+		return nil
+	}
+	fmt.Print(bench.FormatFigure(fmt.Sprintf("Figure %d", figure), title, series))
+	return nil
+}

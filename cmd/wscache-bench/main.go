@@ -1,0 +1,77 @@
+// Command wscache-bench regenerates the paper's micro-benchmark tables
+// (Tables 6–9): cache-key generation time, cached-data retrieval time,
+// and the memory sizes of cache keys and cached objects, for the three
+// Google operations.
+//
+// Usage:
+//
+//	wscache-bench              # all four tables, 10,000 iterations
+//	wscache-bench -table 7     # one table
+//	wscache-bench -iters 50000 # heavier timing run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (6, 7, 8 or 9); 0 means all")
+	iters := flag.Int("iters", bench.DefaultIterations, "iterations per timed cell (Tables 6 and 7)")
+	format := flag.String("format", "text", `output format: "text" or "csv"`)
+	flag.Parse()
+
+	if err := run(*table, *iters, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "wscache-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, iters int, format string) error {
+	if format != "text" && format != "csv" {
+		return fmt.Errorf("unknown format %q (text or csv)", format)
+	}
+	env, err := bench.NewEnv()
+	if err != nil {
+		return err
+	}
+
+	produce := map[int]func() (*bench.Table, error){
+		6: func() (*bench.Table, error) { return env.Table6(iters) },
+		7: func() (*bench.Table, error) { return env.Table7(iters) },
+		8: env.Table8,
+		9: env.Table9,
+	}
+
+	order := []int{6, 7, 8, 9}
+	if table != 0 {
+		f, ok := produce[table]
+		if !ok {
+			return fmt.Errorf("no such table %d (have 6, 7, 8, 9)", table)
+		}
+		return printTable(f, format)
+	}
+	for _, id := range order {
+		if err := printTable(produce[id], format); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printTable(f func() (*bench.Table, error), format string) error {
+	t, err := f()
+	if err != nil {
+		return err
+	}
+	if format == "csv" {
+		fmt.Print(t.CSV())
+		return nil
+	}
+	fmt.Print(t.Format())
+	return nil
+}

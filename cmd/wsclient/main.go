@@ -1,0 +1,207 @@
+// Command wsclient is a generic WSDL-driven SOAP client: it reads a
+// service description, coerces command-line arguments to the declared
+// parameter types, invokes the operation over HTTP, and prints the
+// decoded application object. With -cache it keeps a response cache for
+// the life of the process and reports hits (useful with -repeat).
+//
+// Usage:
+//
+//	wsclient -wsdl google -endpoint http://localhost:8080/ \
+//	    doSpellingSuggestion key=demo phrase="worl peace"
+//
+//	wsclient -wsdl service.wsdl -cache -repeat 3 \
+//	    doGoogleSearch key=demo q=golang start=0 maxResults=10 \
+//	    filter=false restrict= safeSearch=false lr= ie=latin1 oe=latin1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/googleapi"
+	"repro/internal/soap"
+	"repro/internal/transport"
+	"repro/internal/typemap"
+	"repro/internal/wsdl"
+	"repro/internal/xsd"
+)
+
+func main() {
+	wsdlSrc := flag.String("wsdl", "google", `WSDL source: "google" (embedded) or a file path`)
+	endpoint := flag.String("endpoint", "", "endpoint override (default: the WSDL's soap:address)")
+	useCache := flag.Bool("cache", false, "enable the client response cache")
+	repeat := flag.Int("repeat", 1, "invoke the operation this many times")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-call timeout")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: wsclient [flags] <operation> [name=value ...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(*wsdlSrc, *endpoint, flag.Arg(0), flag.Args()[1:], *useCache, *repeat, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "wsclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wsdlSrc, endpoint, operation string, args []string, useCache bool, repeat int, timeout time.Duration) error {
+	doc := []byte(googleapi.WSDL)
+	if wsdlSrc != "google" {
+		var err error
+		doc, err = os.ReadFile(wsdlSrc)
+		if err != nil {
+			return err
+		}
+	}
+	defs, err := wsdl.Parse(doc)
+	if err != nil {
+		return err
+	}
+
+	reg := typemap.NewRegistry()
+	if defs.TargetNamespace == googleapi.Namespace {
+		if err := googleapi.RegisterTypes(reg); err != nil {
+			return err
+		}
+	}
+	codec := soap.NewCodec(reg)
+
+	var handlers []client.Handler
+	var cache *core.Cache
+	if useCache {
+		cache = core.MustNew(core.Config{
+			KeyGen:     core.NewStringKey(),
+			Store:      core.NewAutoStore(reg, codec),
+			DefaultTTL: time.Hour,
+		})
+		handlers = append(handlers, cache)
+	}
+
+	svc, err := client.NewService(defs, codec, &transport.HTTP{}, client.ServiceConfig{
+		Endpoint: endpoint,
+		Options:  client.Options{RecordEvents: true, Handlers: handlers},
+	})
+	if err != nil {
+		return err
+	}
+	call, err := svc.Call(operation)
+	if err != nil {
+		return err
+	}
+
+	params, err := buildParams(defs, operation, args)
+	if err != nil {
+		return err
+	}
+
+	for i := 0; i < repeat; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		start := time.Now()
+		ictx, err := call.InvokeContext(ctx, params...)
+		cancel()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("call %d (%v, hit=%v):\n", i+1, time.Since(start).Round(time.Microsecond), ictx.CacheHit)
+		printResult(ictx.Result)
+	}
+	if cache != nil {
+		s := cache.Stats()
+		fmt.Printf("cache: %d hits, %d misses, %d bytes\n", s.Hits, s.Misses, s.Bytes)
+	}
+	return nil
+}
+
+// buildParams coerces name=value arguments to the types the WSDL
+// declares for the operation's input message, in message-part order.
+func buildParams(defs *wsdl.Definitions, operation string, args []string) ([]soap.Param, error) {
+	in, _, err := defs.OperationIO(operation)
+	if err != nil {
+		return nil, err
+	}
+	given := make(map[string]string, len(args))
+	for _, a := range args {
+		name, value, ok := strings.Cut(a, "=")
+		if !ok {
+			return nil, fmt.Errorf("argument %q is not name=value", a)
+		}
+		given[name] = value
+	}
+	params := make([]soap.Param, 0, len(in.Parts))
+	for _, part := range in.Parts {
+		raw, ok := given[part.Name]
+		if !ok {
+			return nil, fmt.Errorf("missing argument %s (type %s)", part.Name, part.Type.Local)
+		}
+		delete(given, part.Name)
+		v, err := coerce(part.Type, raw)
+		if err != nil {
+			return nil, fmt.Errorf("argument %s: %w", part.Name, err)
+		}
+		params = append(params, soap.Param{Name: part.Name, Value: v})
+	}
+	for name := range given {
+		return nil, fmt.Errorf("unknown argument %s (operation %s takes %d parameters)", name, operation, len(in.Parts))
+	}
+	return params, nil
+}
+
+// coerce converts a textual argument to the Go value for a schema type.
+func coerce(q typemap.QName, raw string) (any, error) {
+	if !xsd.IsBuiltin(q) {
+		return nil, fmt.Errorf("complex parameter type %s not supported on the command line", q)
+	}
+	switch q.Local {
+	case "string", "anyURI", "dateTime":
+		return raw, nil
+	case "boolean":
+		return strconv.ParseBool(raw)
+	case "int", "integer", "short", "byte":
+		return strconv.Atoi(raw)
+	case "long":
+		return strconv.ParseInt(raw, 10, 64)
+	case "unsignedInt", "unsignedLong":
+		return strconv.ParseUint(raw, 10, 64)
+	case "float":
+		f, err := strconv.ParseFloat(raw, 32)
+		return float32(f), err
+	case "double", "decimal":
+		return strconv.ParseFloat(raw, 64)
+	case "base64Binary":
+		return []byte(raw), nil
+	default:
+		return nil, fmt.Errorf("unsupported parameter type %s", q)
+	}
+}
+
+// printResult renders the decoded application object.
+func printResult(result any) {
+	switch r := result.(type) {
+	case *googleapi.GoogleSearchResult:
+		fmt.Printf("  %d of about %d results (%.3fs) for %q\n",
+			len(r.ResultElements), r.EstimatedTotalResultsCount, r.SearchTime, r.SearchQuery)
+		for i := range r.ResultElements {
+			e := &r.ResultElements[i]
+			fmt.Printf("  %d. %s\n     %s\n", i+1, e.Title, e.URL)
+		}
+	case []byte:
+		const max = 200
+		s := string(r)
+		if len(s) > max {
+			s = s[:max] + fmt.Sprintf("... (%d bytes total)", len(r))
+		}
+		fmt.Printf("  %s\n", s)
+	case nil:
+		fmt.Println("  <no result>")
+	default:
+		fmt.Printf("  %+v\n", r)
+	}
+}

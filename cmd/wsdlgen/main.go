@@ -1,0 +1,61 @@
+// Command wsdlgen is the WSDL compiler: it generates Go source — typed
+// structs with deep CloneDeep methods, RegisterTypes, and a typed
+// service client — from a WSDL service description. The analog of
+// Axis's WSDL2Java, extended with the clone generation the paper calls
+// for (Section 4.2.3-C).
+//
+// Usage:
+//
+//	wsdlgen -pkg googlegen > googlegen.go           # embedded Google WSDL
+//	wsdlgen -wsdl service.wsdl -pkg mysvc -o mysvc/mysvc.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/googleapi"
+	"repro/internal/wsdl"
+	"repro/internal/wsdlgen"
+)
+
+func main() {
+	wsdlPath := flag.String("wsdl", "", "WSDL file (default: the embedded GoogleSearch WSDL)")
+	pkg := flag.String("pkg", "", "generated package name (required)")
+	out := flag.String("o", "", "output file (default stdout)")
+	skipClient := flag.Bool("types-only", false, "generate types without the service client")
+	flag.Parse()
+
+	if err := run(*wsdlPath, *pkg, *out, *skipClient); err != nil {
+		fmt.Fprintln(os.Stderr, "wsdlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wsdlPath, pkg, out string, skipClient bool) error {
+	if pkg == "" {
+		return fmt.Errorf("-pkg is required")
+	}
+	doc := []byte(googleapi.WSDL)
+	if wsdlPath != "" {
+		var err error
+		doc, err = os.ReadFile(wsdlPath)
+		if err != nil {
+			return err
+		}
+	}
+	defs, err := wsdl.Parse(doc)
+	if err != nil {
+		return err
+	}
+	src, err := wsdlgen.Generate(defs, wsdlgen.Options{Package: pkg, SkipClient: skipClient})
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(src)
+		return err
+	}
+	return os.WriteFile(out, src, 0o644)
+}

@@ -1,0 +1,169 @@
+// Command wsdump inspects WSDL service descriptions and prints the
+// paper's descriptive tables. Without arguments it dumps the embedded
+// GoogleSearch WSDL; -f reads a WSDL file; -tables prints Tables 1–5
+// (operation catalogs, representation matrices, the SAX event example,
+// and the operation shape summary).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/amazonapi"
+	"repro/internal/core"
+	"repro/internal/googleapi"
+	"repro/internal/sax"
+	"repro/internal/wsdl"
+)
+
+func main() {
+	file := flag.String("f", "", "WSDL file to dump (default: embedded GoogleSearch WSDL)")
+	tables := flag.Bool("tables", false, "print the paper's descriptive tables (1-5)")
+	flag.Parse()
+
+	if err := run(*file, *tables); err != nil {
+		fmt.Fprintln(os.Stderr, "wsdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file string, tables bool) error {
+	doc := []byte(googleapi.WSDL)
+	if file != "" {
+		var err error
+		doc, err = os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+	}
+	defs, err := wsdl.Parse(doc)
+	if err != nil {
+		return err
+	}
+	dumpDefinitions(defs)
+	if tables {
+		fmt.Println()
+		printDescriptiveTables(defs)
+	}
+	return nil
+}
+
+// dumpDefinitions prints the service model.
+func dumpDefinitions(defs *wsdl.Definitions) {
+	fmt.Printf("WSDL %q  targetNamespace=%s\n", defs.Name, defs.TargetNamespace)
+	if loc, ok := defs.Endpoint(); ok {
+		fmt.Printf("endpoint: %s\n", loc)
+	}
+
+	for _, name := range sortedKeys(defs.PortTypes) {
+		pt := defs.PortTypes[name]
+		fmt.Printf("\nportType %s:\n", pt.Name)
+		for _, opName := range sortedKeys(pt.Operations) {
+			op := pt.Operations[opName]
+			in, out, err := defs.OperationIO(op.Name)
+			if err != nil {
+				fmt.Printf("  %s: %v\n", op.Name, err)
+				continue
+			}
+			params := make([]string, 0, len(in.Parts))
+			for _, p := range in.Parts {
+				params = append(params, p.Name+" "+p.Type.Local)
+			}
+			ret := "void"
+			if len(out.Parts) > 0 {
+				ret = out.Parts[0].Type.Local
+			}
+			fmt.Printf("  %s(%s) -> %s\n", op.Name, strings.Join(params, ", "), ret)
+		}
+	}
+
+	for _, s := range defs.Schemas {
+		var names []string
+		for n := range s.Types {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("\nschema %s types: %s\n", s.TargetNamespace, strings.Join(names, ", "))
+	}
+}
+
+// printDescriptiveTables prints the paper's Tables 1-5.
+func printDescriptiveTables(defs *wsdl.Definitions) {
+	fmt.Println("Table 1. Operations in Google/Amazon Web services")
+	fmt.Printf("  Google Web services (all cacheable):\n    %s\n",
+		strings.Join(googleapi.Operations, ", "))
+	fmt.Printf("  Amazon Web services, cacheable search operations (%d):\n    %s\n",
+		len(amazonapi.SearchOperations), strings.Join(amazonapi.SearchOperations, ", "))
+	fmt.Printf("  Amazon Web services, uncacheable cart operations (%d):\n    %s\n",
+		len(amazonapi.CartOperations), strings.Join(amazonapi.CartOperations, ", "))
+
+	fmt.Println("\nTable 2. Cache key data representation")
+	printMatrix(core.KeyRepresentations())
+
+	fmt.Println("\nTable 3. Cache value data representation")
+	printMatrix(core.ValueRepresentations())
+
+	fmt.Println("\nTable 4. An example of a SAX events sequence")
+	fmt.Println("  XML document: <doc><para>Hello, world!</para></doc>")
+	events, err := sax.Record([]byte("<doc><para>Hello, world!</para></doc>"))
+	if err != nil {
+		fmt.Println("  error:", err)
+	} else {
+		for _, e := range events {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+
+	fmt.Println("\nTable 5. Summary of the three Google operations")
+	printTable5(defs)
+}
+
+// printMatrix renders a representation matrix.
+func printMatrix(rows []core.RepresentationInfo) {
+	for _, r := range rows {
+		fmt.Printf("  %-22s method: %-58s limitation: %s\n", r.Representation, r.Method, r.Limitation)
+	}
+}
+
+// printTable5 summarizes request/return shapes from the WSDL itself.
+func printTable5(defs *wsdl.Definitions) {
+	classes := map[string]string{
+		googleapi.OpSpellingSuggestion: "small and simple",
+		googleapi.OpGetCachedPage:      "large and simple",
+		googleapi.OpGoogleSearch:       "large and complex",
+	}
+	for _, opName := range googleapi.Operations {
+		in, out, err := defs.OperationIO(opName)
+		if err != nil {
+			fmt.Printf("  %s: %v\n", opName, err)
+			continue
+		}
+		counts := map[string]int{}
+		for _, p := range in.Parts {
+			counts[p.Type.Local]++
+		}
+		var parts []string
+		for _, ty := range sortedKeys(counts) {
+			parts = append(parts, fmt.Sprintf("%s x %d", ty, counts[ty]))
+		}
+		ret := "void"
+		if len(out.Parts) > 0 {
+			ret = out.Parts[0].Type.Local
+		}
+		fmt.Printf("  %-22s request: %-38s return: %s (%s)\n",
+			opName, strings.Join(parts, ", "), ret, classes[opName])
+	}
+}
+
+// sortedKeys returns the sorted keys of a map.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

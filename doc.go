@@ -1,0 +1,15 @@
+// Package repro reproduces "Efficient Web Services Response Caching by
+// Selecting Optimal Data Representation" (Takase & Tatsubori, ICDCS
+// 2004) as a complete Go system: a from-scratch XML/SAX/DOM stack, a
+// SOAP 1.1 rpc/encoded codec driven by WSDL-derived type metadata,
+// Axis-style client middleware, and the paper's response cache with
+// selectable key and value representations.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured results, and the examples/ directory for runnable
+// entry points. The repository-level benchmarks in bench_test.go
+// regenerate each of the paper's tables and figures:
+//
+//	go test -bench 'BenchmarkTable6' -benchmem
+//	go test -bench 'BenchmarkFigure3' -benchtime 1x
+package repro

@@ -1,0 +1,109 @@
+// Portal: the paper's motivating scenario (Sections 1 and 5.2). A
+// portal site fans out to three back-end Web services — search,
+// spelling suggestions, and cached pages — through caching client
+// middleware, then a small load run demonstrates the cache's effect on
+// page latency.
+//
+//	go run ./examples/portal            # self-driving demo
+//	go run ./examples/portal -addr :9090  # also serve the portal page
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/googleapi"
+	"repro/internal/loadgen"
+	"repro/internal/portal"
+	"repro/internal/soap"
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "", "also serve the portal over HTTP at this address")
+	flag.Parse()
+	if err := run(*addr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string) error {
+	dispatcher, codec, err := googleapi.NewDispatcher()
+	if err != nil {
+		return err
+	}
+	cache := core.MustNew(core.Config{
+		KeyGen:     core.NewStringKey(),
+		Store:      core.NewAutoStore(codec.Registry(), codec),
+		DefaultTTL: time.Hour,
+		MaxEntries: 10_000,
+	})
+	tr := &transport.InProcess{Handler: dispatcher}
+	opts := client.Options{RecordEvents: true, Handlers: []client.Handler{cache}}
+	newCall := func(op string) *client.Call {
+		return client.NewCall(codec, tr, googleapi.Endpoint, googleapi.Namespace,
+			op, "urn:GoogleSearchAction", opts)
+	}
+
+	site := portal.New(
+		portal.Backend{
+			Name: "Web Search",
+			Call: newCall(googleapi.OpGoogleSearch),
+			Params: func(q string) []soap.Param {
+				return googleapi.SearchParams("key", q, 0, 10, false, "", false, "")
+			},
+		},
+		portal.Backend{
+			Name: "Did you mean",
+			Call: newCall(googleapi.OpSpellingSuggestion),
+			Params: func(q string) []soap.Param {
+				return googleapi.SpellingParams("key", q)
+			},
+		},
+		portal.Backend{
+			Name: "Cached copy",
+			Call: newCall(googleapi.OpGetCachedPage),
+			Params: func(q string) []soap.Param {
+				return googleapi.CachedPageParams("key", "http://portal.example/"+q)
+			},
+		},
+	)
+
+	// Demonstration load: 60% of page views repeat popular queries.
+	hot := []string{"web services", "response caching", "soap performance"}
+	for _, q := range hot {
+		if _, err := site.Render(q); err != nil {
+			return err
+		}
+	}
+	res, err := loadgen.Run(loadgen.Config{
+		Concurrency: 4,
+		Requests:    400,
+		HitRatio:    0.6,
+		HotQueries:  hot,
+		MissQuery:   func(i int) string { return fmt.Sprintf("unique query %d", i) },
+		Do: func(q string) error {
+			_, err := site.Render(q)
+			return err
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("portal load:", res)
+	stats := cache.Stats()
+	fmt.Printf("cache: %d hits / %d misses (ratio %.0f%%), %d entries, %d bytes\n",
+		stats.Hits, stats.Misses, 100*stats.HitRatio(), stats.Entries, stats.Bytes)
+
+	if addr != "" {
+		fmt.Printf("serving portal at http://%s/?q=your+query\n", addr)
+		srv := &http.Server{Addr: addr, Handler: site, ReadHeaderTimeout: 10 * time.Second}
+		return srv.ListenAndServe()
+	}
+	return nil
+}

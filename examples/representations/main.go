@@ -1,0 +1,86 @@
+// Representations: the same response cached under every value
+// representation of the paper's Table 3, showing (a) the cost of a
+// cache hit under each, (b) the side-effect behaviour — which
+// representations isolate the cache from client mutations — and (c)
+// what the Section 6 run-time classifier picks for each result type.
+//
+//	go run ./examples/representations
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/googleapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	env, err := bench.NewEnv()
+	if err != nil {
+		return err
+	}
+	search, _ := env.Fixture(googleapi.OpGoogleSearch)
+
+	stores := []core.ValueStore{
+		core.NewXMLMessageStore(env.Codec),
+		core.NewSAXEventsStore(env.Codec),
+		core.NewBinserStore(env.Reg),
+		core.NewReflectCopyStore(env.Reg),
+		core.NewCloneCopyStore(),
+		core.NewRefStore(env.Reg, true), // read-only asserted
+	}
+
+	fmt.Println("Per-hit cost and aliasing behaviour for doGoogleSearch:")
+	fmt.Printf("%-22s %12s  %s\n", "representation", "hit cost", "client mutation visible in next hit?")
+	for _, store := range stores {
+		payload, _, err := store.Store(search.Ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", store.Name(), err)
+		}
+
+		// Time one hundred hits.
+		const n = 100
+		start := time.Now()
+		var last any
+		for i := 0; i < n; i++ {
+			last, err = store.Load(payload)
+			if err != nil {
+				return fmt.Errorf("%s: %w", store.Name(), err)
+			}
+		}
+		perHit := time.Since(start) / n
+
+		// Mutate the object a hit returned, then take another hit: does
+		// the mutation leak into the cache (call-by-copy violation)?
+		last.(*googleapi.GoogleSearchResult).SearchQuery = "MUTATED BY CLIENT"
+		again, err := store.Load(payload)
+		if err != nil {
+			return err
+		}
+		leaked := again.(*googleapi.GoogleSearchResult).SearchQuery == "MUTATED BY CLIENT"
+
+		note := "no (safe)"
+		if leaked {
+			note = "YES — shared reference; requires read-only assertion"
+		}
+		fmt.Printf("%-22s %12v  %s\n", store.Name(), perHit, note)
+	}
+
+	// The Section 6 classifier at work on the three result classes.
+	auto := core.NewAutoStore(env.Reg, env.Codec)
+	fmt.Println("\nAutoStore (Section 6 optimal configuration) decisions:")
+	for i := range env.Ops {
+		op := &env.Ops[i]
+		fmt.Printf("  %-22s %-24T -> %s\n", op.Op, op.Ctx.Result, auto.Classify(op.Ctx))
+	}
+	return nil
+}

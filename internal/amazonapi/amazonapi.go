@@ -1,0 +1,70 @@
+// Package amazonapi catalogs the Amazon Web services operations the
+// paper lists in Table 1 and provides the cache-policy configuration
+// the paper proposes for them: the twenty search operations are
+// cacheable retrievals, the six shopping-cart operations are
+// uncacheable updates (Section 3.2).
+package amazonapi
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Namespace is a representative target namespace for the service.
+const Namespace = "urn:PI/DevCentral/SoapService"
+
+// SearchOperations are the twenty cacheable retrieval operations
+// (Table 1, upper part).
+var SearchOperations = []string{
+	"KeywordSearch",
+	"TextStreamSearch",
+	"PowerSearch",
+	"BrowseNodeSearch",
+	"AsinSearch",
+	"BlendedSearch",
+	"UpcSearch",
+	"SkuSearch",
+	"AuthorSearch",
+	"ArtistSearch",
+	"ActorSearch",
+	"ManufacturerSearch",
+	"DirectorSearch",
+	"ListManiaSearch",
+	"WishlistSearch",
+	"ExchangeSearch",
+	"MarketplaceSearch",
+	"SellerProfileSearch",
+	"SellerSearch",
+	"SimilaritySearch",
+}
+
+// CartOperations are the six uncacheable shopping-cart and transaction
+// operations (Table 1, lower part).
+var CartOperations = []string{
+	"GetShoppingCart",
+	"ClearShoppingCart",
+	"AddShoppingCartItems",
+	"RemoveShoppingCartItems",
+	"ModifyShoppingCartItems",
+	"GetTransactionDetails",
+}
+
+// DefaultPolicy returns the paper's suggested cache policy for Amazon
+// Web services: search operations cacheable with the given TTL,
+// shopping-cart operations explicitly uncacheable, anything unknown
+// uncacheable (fail safe).
+func DefaultPolicy(ttl time.Duration) core.Policy {
+	ops := make(map[string]core.OperationPolicy, len(SearchOperations)+len(CartOperations))
+	for _, name := range SearchOperations {
+		ops[name] = core.OperationPolicy{Cacheable: true, TTL: ttl}
+	}
+	for _, name := range CartOperations {
+		ops[name] = core.OperationPolicy{Cacheable: false}
+	}
+	return core.Policy{
+		Default:         core.OperationPolicy{Cacheable: false},
+		DefaultExplicit: true,
+		Operations:      ops,
+	}
+}

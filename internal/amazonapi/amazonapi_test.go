@@ -1,0 +1,47 @@
+package amazonapi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTable1Counts(t *testing.T) {
+	// Table 1 lists 20 search operations and 6 cart operations.
+	if len(SearchOperations) != 20 {
+		t.Errorf("search operations = %d, want 20", len(SearchOperations))
+	}
+	if len(CartOperations) != 6 {
+		t.Errorf("cart operations = %d, want 6", len(CartOperations))
+	}
+	seen := map[string]bool{}
+	for _, op := range append(append([]string{}, SearchOperations...), CartOperations...) {
+		if seen[op] {
+			t.Errorf("duplicate operation %q", op)
+		}
+		seen[op] = true
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	p := DefaultPolicy(time.Hour)
+	for _, op := range SearchOperations {
+		got := p.For(op)
+		if !got.Cacheable || got.TTL != time.Hour {
+			t.Errorf("%s: %+v, want cacheable 1h", op, got)
+		}
+	}
+	for _, op := range CartOperations {
+		if p.For(op).Cacheable {
+			t.Errorf("%s: cacheable, want uncacheable", op)
+		}
+	}
+	if p.For("SomeFutureOperation").Cacheable {
+		t.Error("unknown operations must default to uncacheable")
+	}
+	if got := len(p.CacheableOps()); got != 20 {
+		t.Errorf("cacheable ops = %d", got)
+	}
+	if got := len(p.UncacheableOps()); got != 6 {
+		t.Errorf("uncacheable ops = %d", got)
+	}
+}

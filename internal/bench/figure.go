@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/googleapi"
+	"repro/internal/loadgen"
+	"repro/internal/portal"
+	"repro/internal/soap"
+	"repro/internal/transport"
+	"repro/internal/typemap"
+)
+
+// StoreSpec names a cache value representation and builds it against a
+// codec, so each figure series runs with a fresh cache.
+type StoreSpec struct {
+	Name  string
+	Build func(reg *typemap.Registry, codec *soap.Codec) core.ValueStore
+}
+
+// FigureStores returns the six series of Figures 3 and 4, in the
+// paper's legend order.
+func FigureStores() []StoreSpec {
+	return []StoreSpec{
+		{"XML Message", func(_ *typemap.Registry, c *soap.Codec) core.ValueStore {
+			return core.NewXMLMessageStore(c)
+		}},
+		{"SAX Events Sequence", func(_ *typemap.Registry, c *soap.Codec) core.ValueStore {
+			return core.NewSAXEventsStore(c)
+		}},
+		{"Binary Serialization", func(r *typemap.Registry, _ *soap.Codec) core.ValueStore {
+			return core.NewBinserStore(r)
+		}},
+		{"Copy by Reflection", func(r *typemap.Registry, _ *soap.Codec) core.ValueStore {
+			return core.NewReflectCopyStore(r)
+		}},
+		{"Copy by Clone", func(_ *typemap.Registry, _ *soap.Codec) core.ValueStore {
+			return core.NewCloneCopyStore()
+		}},
+		{"Pass by Reference", func(r *typemap.Registry, _ *soap.Codec) core.ValueStore {
+			return core.NewRefStore(r, true)
+		}},
+	}
+}
+
+// FigurePoint is one measurement: a hit ratio and the portal's
+// throughput and average response time there.
+type FigurePoint struct {
+	HitRatio   float64
+	Throughput float64
+	AvgLatency time.Duration
+}
+
+// FigureSeries is one store's curve across the hit-ratio sweep.
+type FigureSeries struct {
+	Store  string
+	Points []FigurePoint
+}
+
+// FigureConfig configures a portal-scenario sweep.
+type FigureConfig struct {
+	// Concurrency is the number of simulated users: 1 for Figure 3,
+	// 25 for Figure 4.
+	Concurrency int
+	// RequestsPerPoint is the number of portal page requests measured
+	// at each hit ratio.
+	RequestsPerPoint int
+	// HitRatios are the swept ratios; nil means 0%..100% step 20%.
+	HitRatios []float64
+	// Stores are the series; nil means all six.
+	Stores []StoreSpec
+	// HotQueries is the number of distinct pre-warmed queries; at
+	// least 1. More hot queries exercise a larger cache.
+	HotQueries int
+	// Operation selects the back-end operation under load; empty means
+	// doGoogleSearch (the paper's choice — the spread between methods
+	// is largest there).
+	Operation string
+}
+
+// Figure runs the portal-site scenario sweep of Section 5.2: a portal
+// backed by the dummy Google service through the caching client, with
+// the cache-hit ratio artificially controlled by the request mix. The
+// measured operation is doGoogleSearch (the paper's choice: the
+// spread between methods is largest there), keys by string
+// concatenation.
+func Figure(cfg FigureConfig) ([]FigureSeries, error) {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.RequestsPerPoint <= 0 {
+		cfg.RequestsPerPoint = 500
+	}
+	if cfg.HitRatios == nil {
+		cfg.HitRatios = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	if cfg.Stores == nil {
+		cfg.Stores = FigureStores()
+	}
+	if cfg.HotQueries <= 0 {
+		cfg.HotQueries = 4
+	}
+	if cfg.Operation == "" {
+		cfg.Operation = googleapi.OpGoogleSearch
+	}
+	if _, ok := operationParams(cfg.Operation); !ok {
+		return nil, fmt.Errorf("bench: figure: unknown operation %q", cfg.Operation)
+	}
+
+	var out []FigureSeries
+	for _, spec := range cfg.Stores {
+		series := FigureSeries{Store: spec.Name}
+		for _, ratio := range cfg.HitRatios {
+			pt, err := figurePoint(cfg, spec, ratio)
+			if err != nil {
+				return nil, fmt.Errorf("bench: figure %s @%.0f%%: %w", spec.Name, ratio*100, err)
+			}
+			series.Points = append(series.Points, pt)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// figurePoint measures one (store, hit ratio) cell with a fresh portal
+// stack.
+func figurePoint(cfg FigureConfig, spec StoreSpec, ratio float64) (FigurePoint, error) {
+	disp, codec, err := googleapi.NewDispatcher()
+	if err != nil {
+		return FigurePoint{}, err
+	}
+	cache := core.MustNew(core.Config{
+		KeyGen:     core.NewStringKey(),
+		Store:      spec.Build(codec.Registry(), codec),
+		DefaultTTL: time.Hour,
+	})
+	call := client.NewCall(codec, &transport.InProcess{Handler: disp},
+		googleapi.Endpoint, googleapi.Namespace, cfg.Operation,
+		"urn:GoogleSearchAction",
+		client.Options{RecordEvents: true, Handlers: []client.Handler{cache}})
+
+	params, _ := operationParams(cfg.Operation)
+	site := portal.New(portal.Backend{
+		Name:   "Back end",
+		Call:   call,
+		Params: params,
+	})
+
+	hot := make([]string, cfg.HotQueries)
+	for i := range hot {
+		hot[i] = fmt.Sprintf("hot query %d", i)
+	}
+	// Pre-warm so hot queries hit from the first measured request.
+	for _, q := range hot {
+		if _, err := site.Render(q); err != nil {
+			return FigurePoint{}, err
+		}
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		Concurrency: cfg.Concurrency,
+		Requests:    cfg.RequestsPerPoint,
+		HitRatio:    ratio,
+		HotQueries:  hot,
+		MissQuery:   func(i int) string { return fmt.Sprintf("miss query %d", i) },
+		Do: func(q string) error {
+			_, err := site.Render(q)
+			return err
+		},
+	})
+	if err != nil {
+		return FigurePoint{}, err
+	}
+	if res.Errors > 0 {
+		return FigurePoint{}, fmt.Errorf("%d request errors", res.Errors)
+	}
+	return FigurePoint{HitRatio: ratio, Throughput: res.Throughput, AvgLatency: res.AvgLatency}, nil
+}
+
+// operationParams maps an operation name to its query→parameters
+// builder.
+func operationParams(op string) (func(q string) []soap.Param, bool) {
+	switch op {
+	case googleapi.OpGoogleSearch:
+		return func(q string) []soap.Param {
+			return googleapi.SearchParams("key", q, 0, 10, false, "", false, "")
+		}, true
+	case googleapi.OpSpellingSuggestion:
+		return func(q string) []soap.Param {
+			return googleapi.SpellingParams("key", q)
+		}, true
+	case googleapi.OpGetCachedPage:
+		return func(q string) []soap.Param {
+			return googleapi.CachedPageParams("key", "http://pages.example/"+q)
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// FormatFigure renders figure series as two aligned text tables
+// (throughput and average response time), in the paper's layout:
+// hit ratio columns, one row per cache method.
+func FormatFigure(id, title string, series []FigureSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s. %s\n", id, title)
+	if len(series) == 0 {
+		return b.String()
+	}
+
+	width := len("method")
+	for _, s := range series {
+		if len(s.Store) > width {
+			width = len(s.Store)
+		}
+	}
+	pad := func(s string, w int) string {
+		if len(s) >= w {
+			return s
+		}
+		return s + strings.Repeat(" ", w-len(s))
+	}
+
+	writeBlock := func(header string, cell func(FigurePoint) string) {
+		b.WriteString(header)
+		b.WriteByte('\n')
+		b.WriteString(pad("method", width))
+		for _, p := range series[0].Points {
+			fmt.Fprintf(&b, "  %7s", fmt.Sprintf("%.0f%%", p.HitRatio*100))
+		}
+		b.WriteByte('\n')
+		for _, s := range series {
+			b.WriteString(pad(s.Store, width))
+			for _, p := range s.Points {
+				fmt.Fprintf(&b, "  %7s", cell(p))
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	writeBlock("Throughput (requests/second) by cache-hit ratio:", func(p FigurePoint) string {
+		return fmt.Sprintf("%.0f", p.Throughput)
+	})
+	b.WriteByte('\n')
+	writeBlock("Average response time (msec) by cache-hit ratio:", func(p FigurePoint) string {
+		return fmt.Sprintf("%.3f", float64(p.AvgLatency.Microseconds())/1000.0)
+	})
+	return b.String()
+}

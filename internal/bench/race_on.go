@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active; timing
+// assertions relax their factors because instrumentation skews costs.
+const raceEnabled = true

@@ -1,0 +1,241 @@
+// Package client is the Web services client middleware: the analog of
+// the Apache Axis client engine the paper prototypes on. An invocation
+// flows through a chain of handlers ending in the pivot handler, which
+// serializes the request application objects to a SOAP envelope, sends
+// it over a Transport, parses the response, and deserializes the
+// application objects (Figure 1 of the paper).
+//
+// The response cache installs as an ordinary Handler in front of the
+// pivot: on a hit it populates the result and stops the chain, so
+// serialization, network, parsing and deserialization are all skipped
+// to the extent the chosen cache representation allows.
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"repro/internal/sax"
+	"repro/internal/soap"
+	"repro/internal/transport"
+)
+
+// Context carries one invocation through the handler chain.
+type Context struct {
+	// Ctx is the caller's context, honored by the transport.
+	Ctx context.Context
+
+	// Request identification.
+	Endpoint   string
+	Namespace  string
+	Operation  string
+	SOAPAction string
+
+	// Params are the request application objects.
+	Params []soap.Param
+
+	// RequestHeader carries extra transport headers. The cache's
+	// revalidation path sets If-Modified-Since here before letting the
+	// invocation proceed.
+	RequestHeader http.Header
+
+	// RequestXML is set once the request has been serialized.
+	RequestXML []byte
+
+	// ResponseXML is the raw response envelope (set by the pivot).
+	ResponseXML []byte
+
+	// ResponseHeader holds the transport response headers (set by the
+	// pivot): Cache-Control and Last-Modified validators live here.
+	ResponseHeader http.Header
+
+	// NotModified reports that the server answered a conditional
+	// request with 304: the response has no body and the caller's
+	// cached representation is still valid.
+	NotModified bool
+
+	// ResponseEvents is the recorded SAX event sequence of the response
+	// (set by the pivot when RecordEvents is enabled).
+	ResponseEvents []sax.Event
+
+	// Result is the response application object.
+	Result any
+
+	// CacheHit reports that a cache handler satisfied the invocation.
+	CacheHit bool
+}
+
+// Handler processes an invocation. Implementations call next to
+// continue the chain, or populate ictx.Result and return without
+// calling next to short-circuit (as the response cache does on a hit).
+type Handler interface {
+	HandleInvoke(ictx *Context, next Invoker) error
+}
+
+// Invoker continues the handler chain.
+type Invoker func(*Context) error
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(ictx *Context, next Invoker) error
+
+var _ Handler = (HandlerFunc)(nil)
+
+// HandleInvoke implements Handler.
+func (f HandlerFunc) HandleInvoke(ictx *Context, next Invoker) error {
+	return f(ictx, next)
+}
+
+// Options configure a Call.
+type Options struct {
+	// RecordEvents makes the pivot record the response's SAX event
+	// sequence into Context.ResponseEvents during the response parse
+	// (one tokenization, teed to recorder and deserializer).
+	RecordEvents bool
+
+	// Handlers is the chain installed in front of the pivot, outermost
+	// first.
+	Handlers []Handler
+}
+
+// Call invokes one operation of a remote service.
+type Call struct {
+	codec      *soap.Codec
+	tr         transport.Transport
+	endpoint   string
+	namespace  string
+	operation  string
+	soapAction string
+	opts       Options
+}
+
+// NewCall builds a Call. codec must have all complex types of the
+// operation registered.
+func NewCall(codec *soap.Codec, tr transport.Transport, endpoint, namespace, operation, soapAction string, opts Options) *Call {
+	return &Call{
+		codec:      codec,
+		tr:         tr,
+		endpoint:   endpoint,
+		namespace:  namespace,
+		operation:  operation,
+		soapAction: soapAction,
+		opts:       opts,
+	}
+}
+
+// Codec returns the call's codec (used by cache value stores that need
+// the deserializer).
+func (c *Call) Codec() *soap.Codec { return c.codec }
+
+// Operation returns the operation name.
+func (c *Call) Operation() string { return c.operation }
+
+// Endpoint returns the target endpoint URL.
+func (c *Call) Endpoint() string { return c.endpoint }
+
+// Invoke performs the call with the given parameters and returns the
+// response application object.
+func (c *Call) Invoke(ctx context.Context, params ...soap.Param) (any, error) {
+	ictx := &Context{
+		Ctx:        ctx,
+		Endpoint:   c.endpoint,
+		Namespace:  c.namespace,
+		Operation:  c.operation,
+		SOAPAction: c.soapAction,
+		Params:     params,
+	}
+	if err := c.run(ictx); err != nil {
+		return nil, err
+	}
+	return ictx.Result, nil
+}
+
+// InvokeContext performs the call and returns the full invocation
+// context (tests and benchmarks inspect CacheHit and the raw XML).
+func (c *Call) InvokeContext(ctx context.Context, params ...soap.Param) (*Context, error) {
+	ictx := &Context{
+		Ctx:        ctx,
+		Endpoint:   c.endpoint,
+		Namespace:  c.namespace,
+		Operation:  c.operation,
+		SOAPAction: c.soapAction,
+		Params:     params,
+	}
+	if err := c.run(ictx); err != nil {
+		return nil, err
+	}
+	return ictx, nil
+}
+
+// run drives the handler chain and terminal pivot.
+func (c *Call) run(ictx *Context) error {
+	chain := c.pivot
+	for i := len(c.opts.Handlers) - 1; i >= 0; i-- {
+		h := c.opts.Handlers[i]
+		next := chain
+		chain = func(ic *Context) error {
+			return h.HandleInvoke(ic, next)
+		}
+	}
+	return chain(ictx)
+}
+
+// pivot is the terminal handler: serialize, send, parse, deserialize.
+func (c *Call) pivot(ictx *Context) error {
+	reqXML, err := c.codec.EncodeRequest(ictx.Namespace, ictx.Operation, ictx.Params)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", ictx.Operation, err)
+	}
+	ictx.RequestXML = reqXML
+
+	resp, err := c.tr.Send(ictx.Ctx, &transport.Request{
+		Endpoint:   ictx.Endpoint,
+		SOAPAction: ictx.SOAPAction,
+		Body:       reqXML,
+		Header:     ictx.RequestHeader,
+	})
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", ictx.Operation, err)
+	}
+	ictx.ResponseHeader = resp.Header
+	if resp.NotModified() {
+		// Validator answered: no body to decode; the caller (cache)
+		// owns the still-fresh representation.
+		ictx.NotModified = true
+		return nil
+	}
+	ictx.ResponseXML = resp.Body
+
+	msg, events, err := c.decode(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", ictx.Operation, err)
+	}
+	ictx.ResponseEvents = events
+	if msg.Fault != nil {
+		return msg.Fault
+	}
+	ictx.Result = msg.Result()
+	return nil
+}
+
+// decode parses the response envelope, optionally teeing the parse into
+// an event recorder.
+func (c *Call) decode(body []byte) (*soap.DecodedMessage, []sax.Event, error) {
+	dh := c.codec.NewDecodeHandler()
+	if !c.opts.RecordEvents {
+		if err := sax.Parse(body, dh.Handler()); err != nil {
+			return nil, nil, err
+		}
+		msg, err := dh.Message()
+		return msg, nil, err
+	}
+	rec := sax.NewRecorder()
+	if err := sax.Parse(body, sax.Tee(rec, dh.Handler())); err != nil {
+		return nil, nil, err
+	}
+	msg, err := dh.Message()
+	if err != nil {
+		return nil, nil, err
+	}
+	return msg, rec.Sequence(), nil
+}

@@ -1,0 +1,521 @@
+// Package core implements the paper's primary contribution: a response
+// cache for Web services client middleware that selects the optimal
+// data representation for cache keys and cache values (Takase &
+// Tatsubori, ICDCS 2004).
+//
+// The cache installs into the client handler chain (package client). On
+// an invocation it generates a key from the request (endpoint URL,
+// operation name, and all parameter names and values — Section 4.1),
+// looks it up, and on a fresh hit materializes the stored value back
+// into an application object using the entry's value representation;
+// the serialize/transport/parse/deserialize pipeline is skipped to the
+// extent the representation allows (Section 3.3).
+//
+// Key representations (Table 2): the request XML message, the
+// binary-serialized parameters (Go analog of Java serialization; an
+// encoding/gob variant is retained for ablation), or a canonical
+// string (Go analog of toString).
+//
+// Value representations (Table 3): the response XML message, the
+// recorded SAX event sequence (naive or compact), the DOM tree, the
+// binary-serialized application object, a reflection deep copy, a
+// Cloner deep copy, or a shared reference for read-only/immutable
+// objects. AutoStore picks per result type at run time, implementing
+// the optimal configuration of Section 6.
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/transport"
+)
+
+// Config configures a response cache.
+type Config struct {
+	// KeyGen generates cache keys; required.
+	KeyGen KeyGenerator
+	// Store is the default value representation; required.
+	Store ValueStore
+	// Policy controls per-operation cacheability; zero value caches
+	// every operation with DefaultTTL.
+	Policy Policy
+	// DefaultTTL applies when neither the policy nor the store dictates
+	// a TTL. Zero means entries never expire.
+	DefaultTTL time.Duration
+	// MaxEntries bounds the number of cache entries; 0 means unbounded.
+	MaxEntries int
+	// MaxBytes bounds the estimated total payload bytes; 0 means
+	// unbounded.
+	MaxBytes int
+	// Revalidate enables the HTTP 1.1 consistency mechanism the paper
+	// points to (Section 3.2): expired entries whose responses carried
+	// a Last-Modified validator are kept as stale, and the next request
+	// is sent conditionally (If-Modified-Since). A 304 answer refreshes
+	// the entry's TTL and serves the stored representation, paying the
+	// round trip but not the response processing.
+	Revalidate bool
+	// HonorServerTTL derives entry TTLs from the response's
+	// Cache-Control max-age / Expires headers when present, overriding
+	// DefaultTTL and the operation policy.
+	HonorServerTTL bool
+	// Clock overrides time.Now, for tests.
+	Clock func() time.Time
+}
+
+// Stats are cumulative cache counters. Retrieve a consistent snapshot
+// with Cache.Stats.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Stores        int64
+	Expirations   int64
+	Evictions     int64
+	Revalidations int64 // stale entries refreshed by a 304 answer
+	Errors        int64 // store/load failures that fell back to the pivot
+	Bypass        int64 // invocations of uncacheable operations
+	Bytes         int   // current estimated payload bytes
+	Entries       int   // current entry count
+}
+
+// HitRatio returns hits / (hits + misses), or 0.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// OperationStats are per-operation counters, the view an administrator
+// tuning the per-operation policy (Section 3.2) needs: which operations
+// hit, which bypass, which churn.
+type OperationStats struct {
+	Hits   int64
+	Misses int64
+	Stores int64
+	Bypass int64
+}
+
+// HitRatio returns hits / (hits + misses), or 0.
+func (s OperationStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one cache entry, a node in the LRU list.
+type entry struct {
+	key     string
+	payload any
+	size    int
+	expires time.Time // zero means never
+	store   ValueStore
+	// ttl is the lifetime the entry was stored with, reused when a 304
+	// refresh arrives without fresh server lifetime headers.
+	ttl time.Duration
+	// lastModified is the response's Last-Modified validator; a stale
+	// entry with a validator can be revalidated instead of refetched.
+	lastModified time.Time
+
+	prev, next *entry
+}
+
+// expired reports whether the entry is past its TTL at now.
+func (e *entry) expired(now time.Time) bool {
+	return !e.expires.IsZero() && now.After(e.expires)
+}
+
+// Cache is the response cache. It implements client.Handler.
+type Cache struct {
+	keygen         KeyGenerator
+	store          ValueStore
+	policy         Policy
+	defaultTTL     time.Duration
+	maxEntries     int
+	maxBytes       int
+	revalidate     bool
+	honorServerTTL bool
+	now            func() time.Time
+
+	mu    sync.Mutex
+	table map[string]*entry
+	// LRU list: head is most recent, tail least recent. Sentinel-free,
+	// nil-terminated both ways.
+	head, tail *entry
+	bytes      int
+	stats      Stats
+	opStats    map[string]*OperationStats
+}
+
+var _ client.Handler = (*Cache)(nil)
+
+// New builds a Cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if cfg.KeyGen == nil {
+		return nil, fmt.Errorf("core: Config.KeyGen is required")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("core: Config.Store is required")
+	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	return &Cache{
+		keygen:         cfg.KeyGen,
+		store:          cfg.Store,
+		policy:         cfg.Policy,
+		defaultTTL:     cfg.DefaultTTL,
+		maxEntries:     cfg.MaxEntries,
+		maxBytes:       cfg.MaxBytes,
+		revalidate:     cfg.Revalidate,
+		honorServerTTL: cfg.HonorServerTTL,
+		now:            now,
+		table:          make(map[string]*entry),
+		opStats:        make(map[string]*OperationStats),
+	}, nil
+}
+
+// MustNew is New panicking on configuration errors; for wiring in
+// examples and benchmarks where the config is static.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Bytes = c.bytes
+	s.Entries = len(c.table)
+	return s
+}
+
+// StatsByOperation returns a snapshot of per-operation counters.
+func (c *Cache) StatsByOperation() map[string]OperationStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]OperationStats, len(c.opStats))
+	for op, s := range c.opStats {
+		out[op] = *s
+	}
+	return out
+}
+
+// countOpLocked bumps a per-operation counter; callers hold c.mu.
+func (c *Cache) countOpLocked(op string, f func(*OperationStats)) {
+	s, ok := c.opStats[op]
+	if !ok {
+		s = &OperationStats{}
+		c.opStats[op] = s
+	}
+	f(s)
+}
+
+// countOp bumps a per-operation counter under the lock.
+func (c *Cache) countOp(op string, f func(*OperationStats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.countOpLocked(op, f)
+}
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.table)
+}
+
+// Clear discards all entries.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.table = make(map[string]*entry)
+	c.head, c.tail = nil, nil
+	c.bytes = 0
+}
+
+// HandleInvoke implements client.Handler: the cache lookup and fill
+// logic described in Section 3.3 and Figure 1.
+func (c *Cache) HandleInvoke(ictx *client.Context, next client.Invoker) error {
+	op := c.policy.For(ictx.Operation)
+	if !op.Cacheable {
+		c.mu.Lock()
+		c.stats.Bypass++
+		c.countOpLocked(ictx.Operation, func(s *OperationStats) { s.Bypass++ })
+		c.mu.Unlock()
+		return next(ictx)
+	}
+
+	key, err := c.keygen.Key(ictx)
+	if err != nil {
+		// Fail open: an ungeneratable key means this request cannot be
+		// cached, not that it cannot be served.
+		c.count(func(s *Stats) { s.Errors++ })
+		return next(ictx)
+	}
+
+	if result, ok := c.lookup(key); ok {
+		ictx.Result = result
+		ictx.CacheHit = true
+		c.countOp(ictx.Operation, func(s *OperationStats) { s.Hits++ })
+		return nil
+	}
+	c.countOp(ictx.Operation, func(s *OperationStats) { s.Misses++ })
+
+	// A stale entry with a validator turns this miss into a conditional
+	// request (If-Modified-Since): the server may answer 304 instead of
+	// recomputing and shipping the response.
+	if c.revalidate {
+		if lm, ok := c.staleValidator(key); ok {
+			if ictx.RequestHeader == nil {
+				ictx.RequestHeader = make(http.Header, 1)
+			}
+			ictx.RequestHeader.Set("If-Modified-Since", lm.UTC().Format(http.TimeFormat))
+		}
+	}
+
+	if err := next(ictx); err != nil {
+		return err
+	}
+
+	if ictx.NotModified {
+		if result, ok := c.refreshStale(key, op, ictx); ok {
+			ictx.Result = result
+			ictx.CacheHit = true
+			return nil
+		}
+		return fmt.Errorf("core: server answered 304 but no stale entry for operation %s", ictx.Operation)
+	}
+
+	c.fill(key, op, ictx)
+	return nil
+}
+
+// staleValidator returns the Last-Modified validator of an expired
+// entry for key, if one is retained for revalidation.
+func (c *Cache) staleValidator(key string) (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.table[key]
+	if !ok || e.lastModified.IsZero() || !e.expired(c.now()) {
+		return time.Time{}, false
+	}
+	return e.lastModified, true
+}
+
+// refreshStale extends a stale entry's TTL after a 304 answer and
+// materializes its payload.
+func (c *Cache) refreshStale(key string, op OperationPolicy, ictx *client.Context) (any, bool) {
+	c.mu.Lock()
+	e, ok := c.table[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	ttl := c.entryTTL(op, ictx)
+	if ttl == 0 {
+		// A 304 without lifetime headers: extend by the entry's
+		// original lifetime rather than pinning it forever.
+		ttl = e.ttl
+	}
+	if ttl > 0 {
+		e.expires = c.now().Add(ttl)
+	} else {
+		e.expires = time.Time{}
+	}
+	e.ttl = ttl
+	c.moveToFrontLocked(e)
+	payload, store := e.payload, e.store
+	c.stats.Revalidations++
+	c.stats.Hits++
+	c.mu.Unlock()
+
+	result, err := store.Load(payload)
+	if err != nil {
+		c.count(func(s *Stats) { s.Errors++ })
+		return nil, false
+	}
+	return result, true
+}
+
+// entryTTL resolves the TTL for a fill or refresh: server headers win
+// when HonorServerTTL is set, then the operation policy, then the
+// default.
+func (c *Cache) entryTTL(op OperationPolicy, ictx *client.Context) time.Duration {
+	if c.honorServerTTL && ictx.ResponseHeader != nil {
+		if lifetime, ok := transport.FreshnessLifetime(ictx.ResponseHeader, c.now()); ok {
+			return lifetime
+		}
+	}
+	if op.TTL != 0 {
+		return op.TTL
+	}
+	return c.defaultTTL
+}
+
+// lookup returns the materialized application object for key if a fresh
+// entry exists.
+func (c *Cache) lookup(key string) (any, bool) {
+	c.mu.Lock()
+	e, ok := c.table[key]
+	if !ok {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	if e.expired(c.now()) {
+		// With revalidation on, a validator-bearing entry is retained
+		// stale; it will be refreshed if the server answers 304.
+		if !(c.revalidate && !e.lastModified.IsZero()) {
+			c.removeLocked(e)
+		}
+		c.stats.Expirations++
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.moveToFrontLocked(e)
+	payload, store := e.payload, e.store
+	c.stats.Hits++
+	c.mu.Unlock()
+
+	// Materialize outside the lock: loads can be arbitrarily expensive
+	// (XML parse for the XML-message representation).
+	result, err := store.Load(payload)
+	if err != nil {
+		// A payload that no longer loads is dropped; report a miss so
+		// the pivot refills the entry.
+		c.mu.Lock()
+		if cur, ok := c.table[key]; ok && cur == e {
+			c.removeLocked(cur)
+		}
+		c.stats.Errors++
+		c.stats.Hits--
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	return result, true
+}
+
+// fill stores a completed invocation's response.
+func (c *Cache) fill(key string, op OperationPolicy, ictx *client.Context) {
+	store := c.store
+	if op.Store != nil {
+		store = op.Store
+	}
+	payload, size, err := store.Store(ictx)
+	if err != nil {
+		c.count(func(s *Stats) { s.Errors++ })
+		return
+	}
+
+	ttl := c.entryTTL(op, ictx)
+	var expires time.Time
+	if ttl > 0 {
+		expires = c.now().Add(ttl)
+	}
+	var lastModified time.Time
+	if ictx.ResponseHeader != nil {
+		if lm := ictx.ResponseHeader.Get("Last-Modified"); lm != "" {
+			if t, err := http.ParseTime(lm); err == nil {
+				lastModified = t
+			}
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.table[key]; ok {
+		c.removeLocked(old)
+	}
+	e := &entry{
+		key: key, payload: payload, size: size,
+		expires: expires, store: store, ttl: ttl, lastModified: lastModified,
+	}
+	c.table[key] = e
+	c.pushFrontLocked(e)
+	c.bytes += size
+	c.stats.Stores++
+	c.countOpLocked(ictx.Operation, func(s *OperationStats) { s.Stores++ })
+	c.evictLocked()
+}
+
+// count mutates stats under the lock.
+func (c *Cache) count(f func(*Stats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(&c.stats)
+}
+
+// evictLocked removes least-recently-used entries until the cache is
+// within its bounds.
+func (c *Cache) evictLocked() {
+	for c.tail != nil {
+		over := (c.maxEntries > 0 && len(c.table) > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)
+		if !over {
+			return
+		}
+		victim := c.tail
+		c.removeLocked(victim)
+		c.stats.Evictions++
+	}
+}
+
+// pushFrontLocked inserts e at the head of the LRU list.
+func (c *Cache) pushFrontLocked(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// moveToFrontLocked marks e most recently used.
+func (c *Cache) moveToFrontLocked(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlinkLocked(e)
+	c.pushFrontLocked(e)
+}
+
+// removeLocked deletes e from the table and list.
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.table, e.key)
+	c.unlinkLocked(e)
+	c.bytes -= e.size
+	e.payload = nil
+}
+
+// unlinkLocked detaches e from the list.
+func (c *Cache) unlinkLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,536 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/sax"
+	"repro/internal/soap"
+	"repro/internal/typemap"
+)
+
+const testNS = "urn:CacheTest"
+
+type item struct {
+	Name  string
+	Score float64
+	Tags  []string
+}
+
+type cloneableItem struct {
+	Name string
+}
+
+func (c *cloneableItem) CloneDeep() any { out := *c; return &out }
+
+type opaqueResult struct {
+	Name   string
+	secret int
+}
+
+// fixture bundles the registry/codec and fabricates invocation contexts
+// as the client middleware would populate them.
+type fixture struct {
+	reg   *typemap.Registry
+	codec *soap.Codec
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	reg := typemap.NewRegistry()
+	if err := reg.Register(typemap.QName{Space: testNS, Local: "Item"}, item{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(typemap.QName{Space: testNS, Local: "CloneableItem"}, cloneableItem{}); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{reg: reg, codec: soap.NewCodec(reg)}
+}
+
+// ictx fabricates a post-pivot invocation context: result plus response
+// XML and recorded events, exactly what a real invocation captures.
+func (f *fixture) ictx(t *testing.T, op string, result any, params ...soap.Param) *client.Context {
+	t.Helper()
+	respXML, err := f.codec.EncodeResponse(testNS, op, result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := sax.Record(respXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &client.Context{
+		Ctx:            context.Background(),
+		Endpoint:       "http://test/endpoint",
+		Namespace:      testNS,
+		Operation:      op,
+		Params:         params,
+		ResponseXML:    respXML,
+		ResponseEvents: events,
+		Result:         result,
+	}
+}
+
+// reqCtx fabricates a pre-invocation context (request side only).
+func (f *fixture) reqCtx(op string, params ...soap.Param) *client.Context {
+	return &client.Context{
+		Ctx:       context.Background(),
+		Endpoint:  "http://test/endpoint",
+		Namespace: testNS,
+		Operation: op,
+		Params:    params,
+	}
+}
+
+// countingNext returns an Invoker that fills the context from fill and
+// counts invocations. The counter is atomic so concurrent tests can
+// share the invoker.
+func countingNext(f *fixture, t *testing.T, result func() any) (client.Invoker, *atomic.Int64) {
+	calls := new(atomic.Int64)
+	return func(ictx *client.Context) error {
+		calls.Add(1)
+		full := f.ictx(t, ictx.Operation, result(), ictx.Params...)
+		ictx.Result = full.Result
+		ictx.ResponseXML = full.ResponseXML
+		ictx.ResponseEvents = full.ResponseEvents
+		return nil
+	}, calls
+}
+
+func newCache(t *testing.T, f *fixture, mutate func(*Config)) *Cache {
+	t.Helper()
+	cfg := Config{
+		KeyGen: NewStringKey(),
+		Store:  NewReflectCopyStore(f.reg),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheHitSkipsPivot(t *testing.T) {
+	f := newFixture(t)
+	c := newCache(t, f, nil)
+	next, calls := countingNext(f, t, func() any { return &item{Name: "a", Score: 1} })
+
+	ictx1 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	if err := c.HandleInvoke(ictx1, next); err != nil {
+		t.Fatal(err)
+	}
+	if ictx1.CacheHit {
+		t.Error("first call reported as hit")
+	}
+
+	ictx2 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	if err := c.HandleInvoke(ictx2, next); err != nil {
+		t.Fatal(err)
+	}
+	if !ictx2.CacheHit {
+		t.Error("second call not a hit")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("pivot calls = %d, want 1", calls.Load())
+	}
+	got := ictx2.Result.(*item)
+	if got.Name != "a" || got.Score != 1 {
+		t.Errorf("hit result = %+v", got)
+	}
+
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Stores != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.HitRatio() != 0.5 {
+		t.Errorf("hit ratio = %v", s.HitRatio())
+	}
+}
+
+func TestCacheDifferentParamsMiss(t *testing.T) {
+	f := newFixture(t)
+	c := newCache(t, f, nil)
+	n := 0
+	next, calls := countingNext(f, t, func() any { n++; return &item{Name: fmt.Sprintf("r%d", n)} })
+
+	for _, q := range []string{"a", "b", "a", "b"} {
+		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: q})
+		if err := c.HandleInvoke(ictx, next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("pivot calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestCallByCopySemantics(t *testing.T) {
+	// Paper Section 3.1: mutations by the client must not leak into the
+	// cache, in either direction.
+	f := newFixture(t)
+	c := newCache(t, f, nil)
+	orig := &item{Name: "original", Tags: []string{"t1"}}
+	next, _ := countingNext(f, t, func() any { return orig })
+
+	ictx1 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	if err := c.HandleInvoke(ictx1, next); err != nil {
+		t.Fatal(err)
+	}
+	// Client mutates the object it received on the miss path.
+	ictx1.Result.(*item).Name = "mutated-by-client"
+	ictx1.Result.(*item).Tags[0] = "mutated"
+
+	ictx2 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	if err := c.HandleInvoke(ictx2, next); err != nil {
+		t.Fatal(err)
+	}
+	got := ictx2.Result.(*item)
+	if got.Name != "original" || got.Tags[0] != "t1" {
+		t.Errorf("cache corrupted by client mutation: %+v", got)
+	}
+
+	// Mutating the hit result must not affect later hits either.
+	got.Name = "mutated-again"
+	ictx3 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	if err := c.HandleInvoke(ictx3, next); err != nil {
+		t.Fatal(err)
+	}
+	if ictx3.Result.(*item).Name != "original" {
+		t.Error("cache corrupted by mutation of a hit result")
+	}
+	if ictx3.Result == ictx2.Result {
+		t.Error("hits share an object")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	f := newFixture(t)
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := newCache(t, f, func(cfg *Config) {
+		cfg.DefaultTTL = time.Hour
+		cfg.Clock = clock
+	})
+	next, calls := countingNext(f, t, func() any { return &item{Name: "x"} })
+
+	run := func() *client.Context {
+		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+		if err := c.HandleInvoke(ictx, next); err != nil {
+			t.Fatal(err)
+		}
+		return ictx
+	}
+
+	run()
+	now = now.Add(30 * time.Minute)
+	if !run().CacheHit {
+		t.Error("entry expired too early")
+	}
+	now = now.Add(31 * time.Minute)
+	if run().CacheHit {
+		t.Error("entry served after TTL")
+	}
+	if calls.Load() != 2 {
+		t.Errorf("pivot calls = %d, want 2", calls.Load())
+	}
+	if c.Stats().Expirations != 1 {
+		t.Errorf("expirations = %d", c.Stats().Expirations)
+	}
+}
+
+func TestPerOperationTTL(t *testing.T) {
+	f := newFixture(t)
+	now := time.Unix(1000, 0)
+	c := newCache(t, f, func(cfg *Config) {
+		cfg.DefaultTTL = time.Hour
+		cfg.Clock = func() time.Time { return now }
+		cfg.Policy = Policy{Operations: map[string]OperationPolicy{
+			"fast": {Cacheable: true, TTL: time.Minute},
+		}}
+	})
+	next, _ := countingNext(f, t, func() any { return &item{} })
+
+	ictx := f.reqCtx("fast", soap.Param{Name: "q", Value: "x"})
+	if err := c.HandleInvoke(ictx, next); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	ictx2 := f.reqCtx("fast", soap.Param{Name: "q", Value: "x"})
+	if err := c.HandleInvoke(ictx2, next); err != nil {
+		t.Fatal(err)
+	}
+	if ictx2.CacheHit {
+		t.Error("per-operation TTL not honored")
+	}
+}
+
+func TestUncacheableOperationBypasses(t *testing.T) {
+	f := newFixture(t)
+	c := newCache(t, f, func(cfg *Config) {
+		cfg.Policy = NewPolicy(time.Hour, "search")
+	})
+	next, calls := countingNext(f, t, func() any { return &item{} })
+
+	for i := 0; i < 3; i++ {
+		ictx := f.reqCtx("addToCart", soap.Param{Name: "item", Value: "x"})
+		if err := c.HandleInvoke(ictx, next); err != nil {
+			t.Fatal(err)
+		}
+		if ictx.CacheHit {
+			t.Error("uncacheable op hit the cache")
+		}
+	}
+	if calls.Load() != 3 {
+		t.Errorf("pivot calls = %d, want 3", calls.Load())
+	}
+	s := c.Stats()
+	if s.Bypass != 3 || s.Stores != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestErrorFromPivotNotCached(t *testing.T) {
+	f := newFixture(t)
+	c := newCache(t, f, nil)
+	boom := errors.New("backend down")
+	fail := true
+	next := func(ictx *client.Context) error {
+		if fail {
+			return boom
+		}
+		full := f.ictx(t, ictx.Operation, &item{Name: "ok"}, ictx.Params...)
+		ictx.Result, ictx.ResponseXML, ictx.ResponseEvents = full.Result, full.ResponseXML, full.ResponseEvents
+		return nil
+	}
+
+	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	if err := c.HandleInvoke(ictx, next); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Error("failed invocation was cached")
+	}
+
+	fail = false
+	ictx2 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	if err := c.HandleInvoke(ictx2, next); err != nil {
+		t.Fatal(err)
+	}
+	if ictx2.CacheHit {
+		t.Error("hit after only a failed invocation")
+	}
+}
+
+func TestLRUEvictionByEntries(t *testing.T) {
+	f := newFixture(t)
+	c := newCache(t, f, func(cfg *Config) { cfg.MaxEntries = 2 })
+	next, _ := countingNext(f, t, func() any { return &item{Name: "v"} })
+
+	get := func(q string) *client.Context {
+		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: q})
+		if err := c.HandleInvoke(ictx, next); err != nil {
+			t.Fatal(err)
+		}
+		return ictx
+	}
+
+	get("a")
+	get("b")
+	get("a") // refresh a
+	get("c") // evicts b (LRU)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if !get("a").CacheHit {
+		t.Error("a should have survived (recently used)")
+	}
+	if get("b").CacheHit {
+		t.Error("b should have been evicted")
+	}
+	if c.Stats().Evictions < 1 {
+		t.Error("no evictions recorded")
+	}
+}
+
+func TestEvictionByBytes(t *testing.T) {
+	f := newFixture(t)
+	c := newCache(t, f, func(cfg *Config) {
+		cfg.MaxBytes = 4096
+		cfg.Store = NewXMLMessageStore(f.codec)
+	})
+	big := make([]string, 40)
+	for i := range big {
+		big[i] = "tag-with-some-length"
+	}
+	next, _ := countingNext(f, t, func() any { return &item{Name: "v", Tags: big} })
+
+	for i := 0; i < 10; i++ {
+		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: fmt.Sprintf("q%d", i)})
+		if err := c.HandleInvoke(ictx, next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Bytes > 4096 {
+		t.Errorf("bytes = %d over budget", s.Bytes)
+	}
+	if s.Evictions == 0 {
+		t.Error("expected evictions under byte budget")
+	}
+	if s.Entries != c.Len() {
+		t.Errorf("entries stat mismatch: %d vs %d", s.Entries, c.Len())
+	}
+}
+
+func TestClear(t *testing.T) {
+	f := newFixture(t)
+	c := newCache(t, f, nil)
+	next, _ := countingNext(f, t, func() any { return &item{} })
+	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	if err := c.HandleInvoke(ictx, next); err != nil {
+		t.Fatal(err)
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Error("clear left entries")
+	}
+	if c.Stats().Bytes != 0 {
+		t.Error("clear left bytes")
+	}
+}
+
+func TestKeyGenFailureFailsOpen(t *testing.T) {
+	f := newFixture(t)
+	c := newCache(t, f, nil) // StringKey
+	next, calls := countingNext(f, t, func() any { return &item{} })
+
+	// A struct param has no value-based string form: key generation
+	// fails, the invocation must still succeed, uncached.
+	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: &item{Name: "param"}})
+	if err := c.HandleInvoke(ictx, next); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 || ictx.CacheHit {
+		t.Errorf("calls = %d hit = %v", calls.Load(), ictx.CacheHit)
+	}
+	if c.Stats().Errors == 0 {
+		t.Error("key failure not counted")
+	}
+}
+
+func TestStoreFailureFailsOpen(t *testing.T) {
+	f := newFixture(t)
+	c := newCache(t, f, func(cfg *Config) { cfg.Store = NewCloneCopyStore() })
+	next, _ := countingNext(f, t, func() any { return &item{} }) // item is not a Cloner
+
+	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	if err := c.HandleInvoke(ictx, next); err != nil {
+		t.Fatal(err)
+	}
+	if ictx.Result == nil {
+		t.Error("result lost on store failure")
+	}
+	if c.Len() != 0 {
+		t.Error("unapplicable store created an entry")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Store: NewCloneCopyStore()}); err == nil {
+		t.Error("missing KeyGen accepted")
+	}
+	if _, err := New(Config{KeyGen: NewStringKey()}); err == nil {
+		t.Error("missing Store accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestStatsByOperation(t *testing.T) {
+	f := newFixture(t)
+	c := newCache(t, f, func(cfg *Config) {
+		cfg.Policy = NewPolicy(time.Hour, "search")
+	})
+	next, _ := countingNext(f, t, func() any { return &item{} })
+
+	invoke := func(op, q string) {
+		t.Helper()
+		ictx := f.reqCtx(op, soap.Param{Name: "q", Value: q})
+		if err := c.HandleInvoke(ictx, next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	invoke("search", "a") // miss + store
+	invoke("search", "a") // hit
+	invoke("search", "b") // miss + store
+	invoke("addToCart", "x")
+	invoke("addToCart", "y")
+
+	stats := c.StatsByOperation()
+	s := stats["search"]
+	if s.Hits != 1 || s.Misses != 2 || s.Stores != 2 || s.Bypass != 0 {
+		t.Errorf("search stats = %+v", s)
+	}
+	if got := s.HitRatio(); got < 0.33 || got > 0.34 {
+		t.Errorf("search hit ratio = %v", got)
+	}
+	cart := stats["addToCart"]
+	if cart.Bypass != 2 || cart.Hits != 0 || cart.Stores != 0 {
+		t.Errorf("cart stats = %+v", cart)
+	}
+	if (OperationStats{}).HitRatio() != 0 {
+		t.Error("empty ratio not 0")
+	}
+	// The snapshot is a copy: mutating it does not affect the cache.
+	stats["search"] = OperationStats{Hits: 999}
+	if c.StatsByOperation()["search"].Hits == 999 {
+		t.Error("snapshot aliased internal state")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	f := newFixture(t)
+	c := newCache(t, f, func(cfg *Config) { cfg.MaxEntries = 16 })
+	next, _ := countingNext(f, t, func() any { return &item{Name: "v", Tags: []string{"a"}} })
+
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			var err error
+			defer func() { done <- err }()
+			for i := 0; i < 200; i++ {
+				ictx := f.reqCtx("get", soap.Param{Name: "q", Value: fmt.Sprintf("q%d", (g+i)%24)})
+				if e := c.HandleInvoke(ictx, next); e != nil {
+					err = e
+					return
+				}
+				if it, ok := ictx.Result.(*item); !ok || it.Name != "v" {
+					err = fmt.Errorf("bad result %#v", ictx.Result)
+					return
+				}
+				// Hammer the copy: mutations must stay private.
+				ictx.Result.(*item).Tags[0] = "mutated"
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

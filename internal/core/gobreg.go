@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// gobRegistered tracks concrete types already passed to gob.Register,
+// because gob.Register panics when a name is re-registered with a
+// different type and the cache registers lazily from live values.
+var gobRegistered sync.Map // reflect.Type -> struct{}
+
+// registerGobValue makes v's concrete type known to gob. It converts
+// gob.Register's panic into an error so a hostile value cannot crash
+// the middleware.
+func registerGobValue(v any) (err error) {
+	if v == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("gob register: %v", r)
+		}
+	}()
+	t := reflect.TypeOf(v)
+	if _, ok := gobRegistered.Load(t); ok {
+		return nil
+	}
+	gob.Register(v)
+	gobRegistered.Store(t, struct{}{})
+	return nil
+}
+
+// gobEncode serializes v (concrete type included) to bytes.
+func gobEncode(v any) ([]byte, error) {
+	if err := registerGobValue(v); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	// Encode through a single-field wrapper so the interface header
+	// (type identity) travels with the value.
+	if err := enc.Encode(&gobBox{V: v}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// gobDecode reconstructs a value encoded with gobEncode.
+func gobDecode(data []byte) (any, error) {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	var box gobBox
+	if err := dec.Decode(&box); err != nil {
+		return nil, err
+	}
+	return box.V, nil
+}
+
+// gobBox wraps an interface value so gob transmits its dynamic type.
+type gobBox struct {
+	V any
+}

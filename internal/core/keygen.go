@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/soap"
+)
+
+// KeyGenerator derives the cache key for an invocation. Per Section
+// 4.1, the complete key covers the endpoint URL, the operation name,
+// and all parameter names and values.
+type KeyGenerator interface {
+	// Name identifies the strategy in reports (Table 6 rows).
+	Name() string
+	// Key returns the cache key, or an error when the strategy's
+	// limitation (Table 2) excludes these parameters.
+	Key(ictx *client.Context) (string, error)
+}
+
+// XMLMessageKey generates the key by serializing the request to its
+// XML message (Section 4.1.1). No limitation on parameter types, but
+// serialization is paid on every lookup — including hits.
+type XMLMessageKey struct {
+	codec *soap.Codec
+}
+
+var _ KeyGenerator = (*XMLMessageKey)(nil)
+
+// NewXMLMessageKey returns the XML-message key strategy.
+func NewXMLMessageKey(codec *soap.Codec) *XMLMessageKey {
+	return &XMLMessageKey{codec: codec}
+}
+
+// Name implements KeyGenerator.
+func (k *XMLMessageKey) Name() string { return "XML message" }
+
+// Key implements KeyGenerator.
+func (k *XMLMessageKey) Key(ictx *client.Context) (string, error) {
+	doc, err := k.codec.EncodeRequest(ictx.Namespace, ictx.Operation, ictx.Params)
+	if err != nil {
+		return "", fmt.Errorf("core: xml key: %w", err)
+	}
+	// The endpoint is not part of the message body; prepend it so two
+	// services with identical operations do not collide.
+	return ictx.Endpoint + "\x00" + string(doc), nil
+}
+
+// GobKey generates the key from the gob-serialized form of the
+// parameter values (Section 4.1.2-A, the Java-serialization analog).
+// Limitation: every parameter must be gob-encodable.
+type GobKey struct{}
+
+var _ KeyGenerator = GobKey{}
+
+// NewGobKey returns the serialization key strategy.
+func NewGobKey() GobKey { return GobKey{} }
+
+// Name implements KeyGenerator.
+func (GobKey) Name() string { return "Gob serialization" }
+
+// Key implements KeyGenerator.
+func (GobKey) Key(ictx *client.Context) (string, error) {
+	var buf bytes.Buffer
+	buf.WriteString(ictx.Endpoint)
+	buf.WriteByte(0)
+	buf.WriteString(ictx.Operation)
+	buf.WriteByte(0)
+	enc := gob.NewEncoder(&buf)
+	for _, p := range ictx.Params {
+		if err := registerGobValue(p.Value); err != nil {
+			return "", fmt.Errorf("core: gob key: param %s: %w", p.Name, err)
+		}
+		if err := enc.Encode(p.Name); err != nil {
+			return "", fmt.Errorf("core: gob key: %w", err)
+		}
+		if err := encodeGobAny(enc, p.Value); err != nil {
+			return "", fmt.Errorf("core: gob key: param %s: %w", p.Name, err)
+		}
+	}
+	return buf.String(), nil
+}
+
+// StringKey generates the key from the string forms of the parameter
+// values (Section 4.1.2-B, the toString analog). Limitation: every
+// parameter must be a primitive or implement fmt.Stringer; types whose
+// only string form would be their address are rejected, exactly as the
+// paper rejects Object.toString.
+type StringKey struct{}
+
+var _ KeyGenerator = StringKey{}
+
+// NewStringKey returns the string key strategy.
+func NewStringKey() StringKey { return StringKey{} }
+
+// Name implements KeyGenerator.
+func (StringKey) Name() string { return "String concatenation" }
+
+// Key implements KeyGenerator.
+func (StringKey) Key(ictx *client.Context) (string, error) {
+	var b strings.Builder
+	b.Grow(len(ictx.Endpoint) + len(ictx.Operation) + 32*len(ictx.Params))
+	b.WriteString(ictx.Endpoint)
+	b.WriteByte(0)
+	b.WriteString(ictx.Operation)
+	for _, p := range ictx.Params {
+		b.WriteByte(0)
+		b.WriteString(p.Name)
+		b.WriteByte('=')
+		if err := appendString(&b, p.Value); err != nil {
+			return "", fmt.Errorf("core: string key: param %s: %w", p.Name, err)
+		}
+	}
+	return b.String(), nil
+}
+
+// appendString renders one parameter value.
+func appendString(b *strings.Builder, v any) error {
+	switch x := v.(type) {
+	case nil:
+		b.WriteString("<nil>")
+		return nil
+	case string:
+		b.WriteString(x)
+		return nil
+	case bool:
+		b.WriteString(strconv.FormatBool(x))
+		return nil
+	case int:
+		b.WriteString(strconv.Itoa(x))
+		return nil
+	case int8:
+		b.WriteString(strconv.FormatInt(int64(x), 10))
+		return nil
+	case int16:
+		b.WriteString(strconv.FormatInt(int64(x), 10))
+		return nil
+	case int32:
+		b.WriteString(strconv.FormatInt(int64(x), 10))
+		return nil
+	case int64:
+		b.WriteString(strconv.FormatInt(x, 10))
+		return nil
+	case uint:
+		b.WriteString(strconv.FormatUint(uint64(x), 10))
+		return nil
+	case uint16:
+		b.WriteString(strconv.FormatUint(uint64(x), 10))
+		return nil
+	case uint32:
+		b.WriteString(strconv.FormatUint(uint64(x), 10))
+		return nil
+	case uint64:
+		b.WriteString(strconv.FormatUint(x, 10))
+		return nil
+	case float32:
+		b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 32))
+		return nil
+	case float64:
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		return nil
+	case []byte:
+		// Byte-array parameters are rare for cacheable retrievals but
+		// cheap to render faithfully.
+		b.Write(x)
+		return nil
+	case fmt.Stringer:
+		b.WriteString(x.String())
+		return nil
+	default:
+		return fmt.Errorf("type %T has no value-based string form", v)
+	}
+}
+
+// encodeGobAny encodes a dynamically typed value. Gob cannot encode a
+// bare interface, so the concrete value is encoded along with its type
+// name (registered by registerGobValue).
+func encodeGobAny(enc *gob.Encoder, v any) error {
+	if v == nil {
+		return enc.Encode("")
+	}
+	if err := enc.Encode(reflect.TypeOf(v).String()); err != nil {
+		return err
+	}
+	return enc.EncodeValue(reflect.ValueOf(v))
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"time"
+)
+
+// Sweeper proactively removes expired entries from a Cache on a fixed
+// interval, bounding the memory held by entries that will never be
+// asked for again. Without a sweeper, expired entries are reclaimed
+// lazily when their key is next requested (or when LRU pressure evicts
+// them), which is the paper's implicit behaviour; the sweeper is an
+// operational extension for long-lived portal deployments.
+//
+// The goroutine's lifetime is owned by the Sweeper: Shutdown signals it
+// to stop and waits for it to exit.
+type Sweeper struct {
+	cache    *Cache
+	interval time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSweeper starts a sweeper over cache. interval must be positive.
+func NewSweeper(cache *Cache, interval time.Duration) *Sweeper {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	s := &Sweeper{
+		cache:    cache,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// run is the sweep loop.
+func (s *Sweeper) run() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.cache.SweepExpired()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Shutdown stops the sweeper and waits for its goroutine to exit. It is
+// idempotent only for the first call; call it exactly once.
+func (s *Sweeper) Shutdown() {
+	close(s.stop)
+	<-s.done
+}
+
+// SweepExpired removes every expired entry now and returns how many
+// were removed. Entries kept stale for revalidation are also removed —
+// a sweep is a reclamation decision that outranks the revalidation
+// optimization.
+func (c *Cache) SweepExpired() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	removed := 0
+	// Walk the LRU list rather than the map to touch entries in a
+	// deterministic order.
+	for e := c.head; e != nil; {
+		next := e.next
+		if e.expired(now) {
+			c.removeLocked(e)
+			c.stats.Expirations++
+			removed++
+		}
+		e = next
+	}
+	return removed
+}

@@ -1,0 +1,381 @@
+// Package dom implements a lightweight DOM: a tree-shaped post-parsing
+// representation of an XML document. The paper names DOM trees (along
+// with SAX event sequences) as the post-parsing representations a cache
+// can store instead of raw XML text (Section 3.3).
+//
+// The tree is built from a SAX event stream and can be serialized back
+// to XML or replayed as SAX events, so every component that consumes
+// events (e.g. the SOAP deserializer) can also consume a DOM tree.
+package dom
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sax"
+)
+
+// NodeKind identifies the type of a Node.
+type NodeKind int
+
+// Node kinds.
+const (
+	ElementNode NodeKind = iota + 1
+	TextNode
+	CommentNode
+	ProcInstNode
+)
+
+// Node is a node in the document tree. Element nodes have a Name,
+// Attrs and Children; text and comment nodes carry Text; processing
+// instructions use Name.Local as the target and Text as the body.
+type Node struct {
+	Kind     NodeKind
+	Name     sax.Name
+	Attrs    []sax.Attribute
+	Text     string
+	Children []*Node
+	Parent   *Node
+}
+
+// Document is a parsed XML document.
+type Document struct {
+	Root *Node
+	// Prolog holds top-level comments and processing instructions that
+	// appeared before the root element.
+	Prolog []*Node
+}
+
+// Parse parses an XML document into a DOM tree.
+func Parse(doc []byte) (*Document, error) {
+	b := NewBuilder()
+	if err := sax.Parse(doc, b); err != nil {
+		return nil, err
+	}
+	return b.Document()
+}
+
+// FromEvents builds a DOM tree from a recorded SAX event sequence.
+func FromEvents(events []sax.Event) (*Document, error) {
+	b := NewBuilder()
+	if err := sax.Replay(events, b); err != nil {
+		return nil, err
+	}
+	return b.Document()
+}
+
+// Elem returns the first child element with the given local name (any
+// namespace), or nil.
+func (n *Node) Elem(local string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && c.Name.Local == local {
+			return c
+		}
+	}
+	return nil
+}
+
+// ElemNS returns the first child element matching both namespace URI
+// and local name, or nil.
+func (n *Node) ElemNS(space, local string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && c.Name.Space == space && c.Name.Local == local {
+			return c
+		}
+	}
+	return nil
+}
+
+// Elems returns all child elements with the given local name; with
+// local "" it returns all child elements.
+func (n *Node) Elems(local string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && (local == "" || c.Name.Local == local) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ElemsNSLocal returns all child elements matching both namespace URI
+// and local name.
+func (n *Node) ElemsNSLocal(space, local string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && c.Name.Space == space && c.Name.Local == local {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+// The lookup matches the attribute's lexical name (prefix:local or
+// plain local).
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name.String() == name || a.Name.Local == name && a.Name.Prefix == "" {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrNS returns the value of the attribute with the given namespace
+// URI and local name.
+func (n *Node) AttrNS(space, local string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name.Space == space && a.Name.Local == local {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// InnerText returns the concatenation of all descendant text nodes.
+func (n *Node) InnerText() string {
+	if n.Kind == TextNode {
+		return n.Text
+	}
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	for _, c := range n.Children {
+		switch c.Kind {
+		case TextNode:
+			b.WriteString(c.Text)
+		case ElementNode:
+			c.appendText(b)
+		}
+	}
+}
+
+// AppendChild adds c as the last child of n and sets its parent.
+func (n *Node) AppendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Events converts the subtree rooted at n into a SAX event fragment
+// (without document start/end markers).
+func (n *Node) Events() []sax.Event {
+	var out []sax.Event
+	n.appendEvents(&out)
+	return out
+}
+
+func (n *Node) appendEvents(out *[]sax.Event) {
+	switch n.Kind {
+	case ElementNode:
+		*out = append(*out, sax.Event{Kind: sax.StartElement, Name: n.Name, Attrs: n.Attrs})
+		for _, c := range n.Children {
+			c.appendEvents(out)
+		}
+		*out = append(*out, sax.Event{Kind: sax.EndElement, Name: n.Name})
+	case TextNode:
+		*out = append(*out, sax.Event{Kind: sax.Characters, Text: n.Text})
+	case CommentNode:
+		*out = append(*out, sax.Event{Kind: sax.Comment, Text: n.Text})
+	case ProcInstNode:
+		*out = append(*out, sax.Event{Kind: sax.ProcInst, Name: n.Name, Text: n.Text})
+	}
+}
+
+// Events converts the whole document into a SAX event sequence,
+// bracketed by StartDocument and EndDocument.
+func (d *Document) Events() []sax.Event {
+	out := []sax.Event{{Kind: sax.StartDocument}}
+	for _, p := range d.Prolog {
+		p.appendEvents(&out)
+	}
+	if d.Root != nil {
+		d.Root.appendEvents(&out)
+	}
+	out = append(out, sax.Event{Kind: sax.EndDocument})
+	return out
+}
+
+// Visit streams the document to a sax.Handler by walking the tree,
+// without materializing an event slice: the cheap replay path for
+// DOM-tree cache payloads.
+func (d *Document) Visit(h sax.Handler) error {
+	if err := h.OnStartDocument(); err != nil {
+		return err
+	}
+	for _, p := range d.Prolog {
+		if err := p.Visit(h); err != nil {
+			return err
+		}
+	}
+	if d.Root != nil {
+		if err := d.Root.Visit(h); err != nil {
+			return err
+		}
+	}
+	return h.OnEndDocument()
+}
+
+// Visit streams the subtree rooted at n to a sax.Handler.
+func (n *Node) Visit(h sax.Handler) error {
+	switch n.Kind {
+	case ElementNode:
+		if err := h.OnStartElement(n.Name, n.Attrs); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := c.Visit(h); err != nil {
+				return err
+			}
+		}
+		return h.OnEndElement(n.Name)
+	case TextNode:
+		return h.OnCharacters(n.Text)
+	case CommentNode:
+		return h.OnComment(n.Text)
+	case ProcInstNode:
+		return h.OnProcInst(n.Name.Local, n.Text)
+	default:
+		return fmt.Errorf("dom: unknown node kind %d", n.Kind)
+	}
+}
+
+// XML serializes the document back to XML text (without an XML
+// declaration).
+func (d *Document) XML() (string, error) {
+	w := sax.NewWriter()
+	if err := d.Visit(w); err != nil {
+		return "", err
+	}
+	return w.String(), nil
+}
+
+// XML serializes the subtree rooted at n to XML text.
+func (n *Node) XML() (string, error) {
+	w := sax.NewWriter()
+	if err := sax.Replay(n.Events(), w); err != nil {
+		return "", err
+	}
+	return w.String(), nil
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The copy's
+// Parent is nil.
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		c.Attrs = make([]sax.Attribute, len(n.Attrs))
+		copy(c.Attrs, n.Attrs)
+	}
+	for _, child := range n.Children {
+		c.AppendChild(child.Clone())
+	}
+	return c
+}
+
+// Builder is a sax.Handler that constructs a Document.
+type Builder struct {
+	doc   Document
+	stack []*Node
+	done  bool
+	err   error
+}
+
+var _ sax.Handler = (*Builder)(nil)
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Document returns the built document. It errors if the event stream
+// was incomplete.
+func (b *Builder) Document() (*Document, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if !b.done {
+		return nil, fmt.Errorf("dom: event stream ended before EndDocument")
+	}
+	if b.doc.Root == nil {
+		return nil, fmt.Errorf("dom: document has no root element")
+	}
+	return &b.doc, nil
+}
+
+// OnStartDocument implements sax.Handler.
+func (b *Builder) OnStartDocument() error { return nil }
+
+// OnEndDocument implements sax.Handler.
+func (b *Builder) OnEndDocument() error {
+	if len(b.stack) != 0 {
+		return fmt.Errorf("dom: EndDocument with %d unclosed element(s)", len(b.stack))
+	}
+	b.done = true
+	return nil
+}
+
+// OnStartElement implements sax.Handler.
+func (b *Builder) OnStartElement(name sax.Name, attrs []sax.Attribute) error {
+	n := &Node{Kind: ElementNode, Name: name}
+	if len(attrs) > 0 {
+		n.Attrs = make([]sax.Attribute, len(attrs))
+		copy(n.Attrs, attrs)
+	}
+	if len(b.stack) == 0 {
+		if b.doc.Root != nil {
+			return fmt.Errorf("dom: multiple root elements")
+		}
+		b.doc.Root = n
+	} else {
+		b.stack[len(b.stack)-1].AppendChild(n)
+	}
+	b.stack = append(b.stack, n)
+	return nil
+}
+
+// OnEndElement implements sax.Handler.
+func (b *Builder) OnEndElement(name sax.Name) error {
+	if len(b.stack) == 0 {
+		return fmt.Errorf("dom: end element </%s> with no open element", name)
+	}
+	top := b.stack[len(b.stack)-1]
+	if top.Name != name {
+		return fmt.Errorf("dom: end element </%s> does not match <%s>", name, top.Name)
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	return nil
+}
+
+// OnCharacters implements sax.Handler.
+func (b *Builder) OnCharacters(text string) error {
+	if len(b.stack) == 0 {
+		// Whitespace outside the root is insignificant.
+		return nil
+	}
+	b.stack[len(b.stack)-1].AppendChild(&Node{Kind: TextNode, Text: text})
+	return nil
+}
+
+// OnComment implements sax.Handler.
+func (b *Builder) OnComment(text string) error {
+	n := &Node{Kind: CommentNode, Text: text}
+	if len(b.stack) == 0 {
+		b.doc.Prolog = append(b.doc.Prolog, n)
+		return nil
+	}
+	b.stack[len(b.stack)-1].AppendChild(n)
+	return nil
+}
+
+// OnProcInst implements sax.Handler.
+func (b *Builder) OnProcInst(target, body string) error {
+	n := &Node{Kind: ProcInstNode, Name: sax.Name{Local: target}, Text: body}
+	if len(b.stack) == 0 {
+		b.doc.Prolog = append(b.doc.Prolog, n)
+		return nil
+	}
+	b.stack[len(b.stack)-1].AppendChild(n)
+	return nil
+}

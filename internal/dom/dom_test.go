@@ -1,0 +1,240 @@
+package dom
+
+import (
+	"testing"
+
+	"repro/internal/sax"
+)
+
+const sample = `<catalog xmlns="urn:cat" version="2">` +
+	`<book id="1"><title>Go</title><price>10.5</price></book>` +
+	`<book id="2"><title>XML</title><price>7</price></book>` +
+	`<!-- trailing comment -->` +
+	`</catalog>`
+
+func TestParseTree(t *testing.T) {
+	doc, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Root
+	if root.Name.Local != "catalog" || root.Name.Space != "urn:cat" {
+		t.Fatalf("root = %+v", root.Name)
+	}
+	if v, ok := root.Attr("version"); !ok || v != "2" {
+		t.Errorf("version attr = %q, %v", v, ok)
+	}
+	books := root.Elems("book")
+	if len(books) != 2 {
+		t.Fatalf("got %d books", len(books))
+	}
+	if got := books[0].Elem("title").InnerText(); got != "Go" {
+		t.Errorf("title = %q", got)
+	}
+	if got := books[1].Elem("price").InnerText(); got != "7" {
+		t.Errorf("price = %q", got)
+	}
+	if books[0].Parent != root {
+		t.Error("parent link broken")
+	}
+}
+
+func TestElemNS(t *testing.T) {
+	doc, err := Parse([]byte(`<a xmlns:x="urn:1" xmlns:y="urn:2"><x:v>1</x:v><y:v>2</y:v></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.ElemNS("urn:2", "v").InnerText(); got != "2" {
+		t.Errorf("got %q", got)
+	}
+	if doc.Root.ElemNS("urn:3", "v") != nil {
+		t.Error("expected nil for missing namespace")
+	}
+}
+
+func TestInnerTextNested(t *testing.T) {
+	doc, err := Parse([]byte(`<p>one<b>two<i>three</i></b>four</p>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.InnerText(); got != "onetwothreefour" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	doc, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := doc.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := Parse([]byte(out))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	out2, err := doc2.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != out2 {
+		t.Errorf("round trip not stable:\n%s\n%s", out, out2)
+	}
+	if len(doc2.Root.Elems("book")) != 2 {
+		t.Error("structure lost in round trip")
+	}
+}
+
+func TestNodeXML(t *testing.T) {
+	doc, err := Parse([]byte(`<a><b k="v">x &amp; y</b><c/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := doc.Root.Elem("b").XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != `<b k="v">x &amp; y</b>` {
+		t.Errorf("subtree XML = %q", out)
+	}
+}
+
+func TestProcInstInTree(t *testing.T) {
+	rec := sax.NewRecorder()
+	p := sax.NewParser(sax.ParseOptions{ReportProcInsts: true, CoalesceText: true})
+	if err := p.Parse([]byte(`<a><?target body?></a>`), rec); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := FromEvents(rec.Sequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pi *Node
+	for _, c := range doc.Root.Children {
+		if c.Kind == ProcInstNode {
+			pi = c
+		}
+	}
+	if pi == nil || pi.Name.Local != "target" {
+		t.Fatalf("pi = %+v", pi)
+	}
+	out, err := doc.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != `<a><?target body?></a>` {
+		t.Errorf("XML = %q", out)
+	}
+}
+
+func TestFromEvents(t *testing.T) {
+	events, err := sax.Record([]byte(`<a><b>x</b></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := FromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Elem("b").InnerText() != "x" {
+		t.Error("tree mismatch")
+	}
+}
+
+func TestNodeEventsFragment(t *testing.T) {
+	doc, err := Parse([]byte(`<a><b k="v">x</b></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := doc.Root.Elem("b")
+	events := b.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Kind != sax.StartElement || events[0].Attrs[0].Value != "v" {
+		t.Errorf("events[0] = %+v", events[0])
+	}
+}
+
+func TestClone(t *testing.T) {
+	doc, err := Parse([]byte(`<a k="v"><b>x</b></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := doc.Root.Clone()
+	if c.Parent != nil {
+		t.Error("clone should have nil parent")
+	}
+	// Mutating the clone must not affect the original.
+	c.Attrs[0].Value = "changed"
+	c.Elem("b").Children[0].Text = "changed"
+	if v, _ := doc.Root.Attr("k"); v != "v" {
+		t.Error("original attr mutated through clone")
+	}
+	if doc.Root.Elem("b").InnerText() != "x" {
+		t.Error("original text mutated through clone")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	if _, err := b.Document(); err == nil {
+		t.Error("expected error for incomplete stream")
+	}
+
+	b2 := NewBuilder()
+	_ = b2.OnStartDocument()
+	if err := b2.OnEndElement(sax.Name{Local: "x"}); err == nil {
+		t.Error("expected error for end without start")
+	}
+
+	b3 := NewBuilder()
+	_ = b3.OnStartDocument()
+	_ = b3.OnStartElement(sax.Name{Local: "a"}, nil)
+	if err := b3.OnEndElement(sax.Name{Local: "b"}); err == nil {
+		t.Error("expected mismatch error")
+	}
+
+	b4 := NewBuilder()
+	_ = b4.OnStartDocument()
+	_ = b4.OnStartElement(sax.Name{Local: "a"}, nil)
+	if err := b4.OnEndDocument(); err == nil {
+		t.Error("expected error for unclosed element")
+	}
+}
+
+func TestPrologPreserved(t *testing.T) {
+	rec := sax.NewRecorder()
+	p := sax.NewParser(sax.ParseOptions{ReportComments: true, CoalesceText: true})
+	if err := p.Parse([]byte(`<!-- head --><a/>`), rec); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := FromEvents(rec.Sequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Prolog) != 1 || doc.Prolog[0].Kind != CommentNode {
+		t.Errorf("prolog = %+v", doc.Prolog)
+	}
+}
+
+func TestAttrLexicalLookup(t *testing.T) {
+	doc, err := Parse([]byte(`<a xmlns:p="urn:p" p:k="1" k="2"/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := doc.Root.Attr("p:k"); !ok || v != "1" {
+		t.Errorf("p:k = %q %v", v, ok)
+	}
+	if v, ok := doc.Root.Attr("k"); !ok || v != "2" {
+		t.Errorf("k = %q %v", v, ok)
+	}
+	if v, ok := doc.Root.AttrNS("urn:p", "k"); !ok || v != "1" {
+		t.Errorf("AttrNS = %q %v", v, ok)
+	}
+	if _, ok := doc.Root.Attr("missing"); ok {
+		t.Error("missing attr reported present")
+	}
+}

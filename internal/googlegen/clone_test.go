@@ -1,0 +1,96 @@
+package googlegen
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/googleapi"
+	"repro/internal/server"
+	"repro/internal/soap"
+	"repro/internal/transport"
+	"repro/internal/typemap"
+	"repro/internal/wsdl"
+)
+
+func TestGeneratedSubTypeClones(t *testing.T) {
+	re := &ResultElement{Title: "x", DirectoryCategory: DirectoryCategory{FullViewableName: "Top"}}
+	cp := re.CloneDeep().(*ResultElement)
+	if cp == re || !reflect.DeepEqual(cp, re) {
+		t.Error("ResultElement CloneDeep broken")
+	}
+	dc := &DirectoryCategory{FullViewableName: "A", SpecialEncoding: "B"}
+	cdc := dc.CloneDeep().(*DirectoryCategory)
+	if cdc == dc || *cdc != *dc {
+		t.Error("DirectoryCategory CloneDeep broken")
+	}
+}
+
+func TestGeneratedClientErrorPaths(t *testing.T) {
+	// A server whose handler faults: every typed method must surface
+	// the fault as an error with its zero result.
+	reg := typemap.NewRegistry()
+	if err := RegisterTypes(reg); err != nil {
+		t.Fatal(err)
+	}
+	codec := soap.NewCodec(reg)
+	disp := server.NewDispatcher(codec, googleapi.Namespace)
+	for _, op := range googleapi.Operations {
+		disp.Register(op, func([]soap.Param) (any, error) {
+			return nil, errFault
+		})
+	}
+	defs, err := wsdl.Parse([]byte(googleapi.WSDL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewGoogleSearchClient(defs, codec, &transport.InProcess{Handler: disp}, client.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if s, err := cl.DoSpellingSuggestion(ctx, "k", "p"); err == nil || s != "" {
+		t.Errorf("spelling: %q, %v", s, err)
+	}
+	if b, err := cl.DoGetCachedPage(ctx, "k", "u"); err == nil || b != nil {
+		t.Errorf("cachedpage: %v, %v", b, err)
+	}
+	if r, err := cl.DoGoogleSearch(ctx, "k", "q", 0, 1, false, "", false, "", "", ""); err == nil || r != nil {
+		t.Errorf("search: %v, %v", r, err)
+	}
+}
+
+func TestGeneratedClientWrongResultType(t *testing.T) {
+	// A server returning the wrong type for an operation: the typed
+	// method reports the mismatch instead of panicking.
+	reg := typemap.NewRegistry()
+	if err := RegisterTypes(reg); err != nil {
+		t.Fatal(err)
+	}
+	codec := soap.NewCodec(reg)
+	disp := server.NewDispatcher(codec, googleapi.Namespace)
+	disp.Register(googleapi.OpSpellingSuggestion, func([]soap.Param) (any, error) {
+		return 42, nil // should be a string
+	})
+	defs, err := wsdl.Parse([]byte(googleapi.WSDL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewGoogleSearchClient(defs, codec, &transport.InProcess{Handler: disp}, client.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.DoSpellingSuggestion(context.Background(), "k", "p")
+	if err == nil || !strings.Contains(err.Error(), "unexpected result type") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+var errFault = errString("deliberate fault")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,169 @@
+// Package loadgen is the load simulator for the portal-site scenario
+// (paper Section 5.2, "Web Performance Tool"): a closed-loop generator
+// with a configurable number of concurrent virtual users and an
+// artificially controlled cache-hit ratio, swept 0–100% in the paper's
+// Figures 3 and 4.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config drives one load run.
+type Config struct {
+	// Concurrency is the number of virtual users. 1 reproduces the
+	// paper's "without concurrent access" setup (Figure 3); 25 the
+	// concurrent one (Figure 4).
+	Concurrency int
+
+	// Requests is the total number of requests to issue.
+	Requests int
+
+	// HitRatio in [0,1] is the fraction of requests that reuse a hot
+	// query (one the cache has already stored). The schedule is
+	// deterministic: exactly ⌊Requests·HitRatio⌋ requests are hits,
+	// evenly interleaved.
+	HitRatio float64
+
+	// HotQueries are the pre-warmed queries reused by hit requests.
+	HotQueries []string
+
+	// MissQuery produces a unique query for the i-th miss.
+	MissQuery func(i int) string
+
+	// Do performs one request. It receives the query chosen by the
+	// schedule.
+	Do func(query string) error
+}
+
+// Result aggregates a run.
+type Result struct {
+	Requests   int
+	Errors     int
+	Elapsed    time.Duration
+	Throughput float64 // requests per second
+	AvgLatency time.Duration
+	P50        time.Duration
+	P90        time.Duration
+	P99        time.Duration
+}
+
+// String formats the result as a report row.
+func (r Result) String() string {
+	return fmt.Sprintf("%d req in %v: %.1f req/s, avg %v, p50 %v, p90 %v, p99 %v, %d errors",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.AvgLatency.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+		r.P90.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Errors)
+}
+
+// Run executes the configured load and returns aggregate metrics.
+func Run(cfg Config) (Result, error) {
+	if cfg.Concurrency <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Concurrency must be positive")
+	}
+	if cfg.Requests <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Requests must be positive")
+	}
+	if cfg.HitRatio < 0 || cfg.HitRatio > 1 {
+		return Result{}, fmt.Errorf("loadgen: HitRatio %v outside [0,1]", cfg.HitRatio)
+	}
+	if cfg.Do == nil {
+		return Result{}, fmt.Errorf("loadgen: Do is required")
+	}
+	if cfg.HitRatio > 0 && len(cfg.HotQueries) == 0 {
+		return Result{}, fmt.Errorf("loadgen: HitRatio > 0 requires HotQueries")
+	}
+	if cfg.HitRatio < 1 && cfg.MissQuery == nil {
+		return Result{}, fmt.Errorf("loadgen: HitRatio < 1 requires MissQuery")
+	}
+
+	queries := Schedule(cfg.Requests, cfg.HitRatio, cfg.HotQueries, cfg.MissQuery)
+
+	latencies := make([]time.Duration, cfg.Requests)
+	errs := make([]error, cfg.Requests)
+	var wg sync.WaitGroup
+	work := make(chan int)
+
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				t0 := time.Now()
+				errs[i] = cfg.Do(queries[i])
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return aggregate(latencies, errs, elapsed), nil
+}
+
+// Schedule builds the deterministic query sequence: hits evenly
+// interleaved with misses at the requested ratio.
+func Schedule(requests int, hitRatio float64, hot []string, miss func(int) string) []string {
+	queries := make([]string, requests)
+	hits, misses := 0, 0
+	acc := 0.0
+	for i := 0; i < requests; i++ {
+		acc += hitRatio
+		if acc >= 1.0-1e-9 && len(hot) > 0 {
+			acc -= 1.0
+			queries[i] = hot[hits%len(hot)]
+			hits++
+		} else {
+			queries[i] = miss(misses)
+			misses++
+		}
+	}
+	return queries
+}
+
+// aggregate folds per-request samples into a Result.
+func aggregate(latencies []time.Duration, errs []error, elapsed time.Duration) Result {
+	res := Result{
+		Requests: len(latencies),
+		Elapsed:  elapsed,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(len(latencies)) / elapsed.Seconds()
+	}
+	var total time.Duration
+	for _, l := range latencies {
+		total += l
+	}
+	if len(latencies) > 0 {
+		res.AvgLatency = total / time.Duration(len(latencies))
+	}
+	for _, e := range errs {
+		if e != nil {
+			res.Errors++
+		}
+	}
+	sorted := make([]time.Duration, len(latencies))
+	copy(sorted, latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	res.P50 = percentile(sorted, 0.50)
+	res.P90 = percentile(sorted, 0.90)
+	res.P99 = percentile(sorted, 0.99)
+	return res
+}
+
+// percentile reads the p-quantile from sorted samples.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,103 @@
+// Package portal implements the paper's motivating scenario (Sections
+// 1 and 5.2): a portal site that renders an HTML page by calling
+// back-end Web services — search, spelling, cached pages — through the
+// caching client middleware. The load simulator stresses this handler
+// to produce Figures 3 and 4.
+package portal
+
+import (
+	"context"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/googleapi"
+	"repro/internal/soap"
+)
+
+// Backend is one back-end Web service invocation the portal performs
+// per page view.
+type Backend struct {
+	// Name labels the page section.
+	Name string
+	// Call is the (possibly caching) client call to invoke.
+	Call *client.Call
+	// Params maps the page query to the operation's parameters.
+	Params func(query string) []soap.Param
+}
+
+// Site is the portal: an http.Handler rendering one page per request.
+type Site struct {
+	backends []Backend
+}
+
+// New builds a Site over its back ends.
+func New(backends ...Backend) *Site {
+	return &Site{backends: backends}
+}
+
+// Render produces the portal page for a query by invoking every back
+// end through the client middleware.
+func (s *Site) Render(query string) (string, error) {
+	var b strings.Builder
+	b.Grow(4096)
+	b.WriteString("<!DOCTYPE html><html><head><title>Portal: ")
+	b.WriteString(html.EscapeString(query))
+	b.WriteString("</title></head><body><h1>Results for ")
+	b.WriteString(html.EscapeString(query))
+	b.WriteString("</h1>")
+	for _, be := range s.backends {
+		result, err := be.Call.Invoke(context.Background(), be.Params(query)...)
+		if err != nil {
+			return "", fmt.Errorf("portal: backend %s: %w", be.Name, err)
+		}
+		b.WriteString("<section><h2>")
+		b.WriteString(html.EscapeString(be.Name))
+		b.WriteString("</h2>")
+		renderResult(&b, result)
+		b.WriteString("</section>")
+	}
+	b.WriteString("</body></html>")
+	return b.String(), nil
+}
+
+// renderResult renders one back-end result into the page.
+func renderResult(b *strings.Builder, result any) {
+	switch r := result.(type) {
+	case *googleapi.GoogleSearchResult:
+		fmt.Fprintf(b, "<p>about %d results (%.3fs)</p><ol>", r.EstimatedTotalResultsCount, r.SearchTime)
+		for i := range r.ResultElements {
+			e := &r.ResultElements[i]
+			fmt.Fprintf(b, `<li><a href="%s">%s</a><br/>%s</li>`,
+				html.EscapeString(e.URL), html.EscapeString(e.Title), html.EscapeString(e.Snippet))
+		}
+		b.WriteString("</ol>")
+	case string:
+		b.WriteString("<p>")
+		b.WriteString(html.EscapeString(r))
+		b.WriteString("</p>")
+	case []byte:
+		fmt.Fprintf(b, "<p>cached page, %d bytes</p>", len(r))
+	case nil:
+		b.WriteString("<p>no result</p>")
+	default:
+		fmt.Fprintf(b, "<pre>%s</pre>", html.EscapeString(fmt.Sprintf("%+v", r)))
+	}
+}
+
+// ServeHTTP implements http.Handler: GET /?q=term.
+func (s *Site) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	query := r.URL.Query().Get("q")
+	if query == "" {
+		query = "web services"
+	}
+	page, err := s.Render(query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(page))
+}

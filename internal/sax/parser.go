@@ -1,0 +1,260 @@
+package sax
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/xmltext"
+)
+
+// XMLNamespaceURI is the URI bound to the reserved "xml" prefix.
+const XMLNamespaceURI = "http://www.w3.org/XML/1998/namespace"
+
+// ParseOptions configure a Parser.
+type ParseOptions struct {
+	// ReportComments delivers OnComment events; when false comments
+	// are skipped (the default for SOAP processing).
+	ReportComments bool
+	// ReportProcInsts delivers OnProcInst events for processing
+	// instructions other than the XML declaration.
+	ReportProcInsts bool
+	// CoalesceText merges adjacent character-data runs (including
+	// CDATA) into a single OnCharacters event.
+	CoalesceText bool
+}
+
+// Parser is a push parser: it tokenizes a document with
+// xmltext.Scanner, performs namespace resolution, and drives a Handler.
+type Parser struct {
+	opts ParseOptions
+}
+
+// NewParser returns a Parser with the given options.
+func NewParser(opts ParseOptions) *Parser {
+	return &Parser{opts: opts}
+}
+
+// Parse parses the document and delivers its events to h. It returns
+// the first error from the scanner or the handler.
+func (p *Parser) Parse(doc []byte, h Handler) error {
+	sc := xmltext.NewScanner(doc)
+	ns := newNamespaceStack()
+
+	if err := h.OnStartDocument(); err != nil {
+		return err
+	}
+
+	var pendingText []string
+	flushText := func() error {
+		if len(pendingText) == 0 {
+			return nil
+		}
+		var text string
+		if len(pendingText) == 1 {
+			text = pendingText[0]
+		} else {
+			text = joinStrings(pendingText)
+		}
+		pendingText = pendingText[:0]
+		return h.OnCharacters(text)
+	}
+
+	for {
+		tok, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch tok.Kind {
+		case xmltext.KindCharData:
+			if p.opts.CoalesceText {
+				pendingText = append(pendingText, tok.Text)
+				continue
+			}
+			if err := h.OnCharacters(tok.Text); err != nil {
+				return err
+			}
+		case xmltext.KindStartElement:
+			if err := flushText(); err != nil {
+				return err
+			}
+			ns.push(tok.Attrs)
+			name, attrs, err := ns.resolve(tok)
+			if err != nil {
+				return err
+			}
+			if err := h.OnStartElement(name, attrs); err != nil {
+				return err
+			}
+		case xmltext.KindEndElement:
+			if err := flushText(); err != nil {
+				return err
+			}
+			name, err := ns.resolveName(tok.Name, true)
+			if err != nil {
+				return err
+			}
+			if err := h.OnEndElement(name); err != nil {
+				return err
+			}
+			ns.pop()
+		case xmltext.KindComment:
+			if err := flushText(); err != nil {
+				return err
+			}
+			if p.opts.ReportComments {
+				if err := h.OnComment(tok.Text); err != nil {
+					return err
+				}
+			}
+		case xmltext.KindProcInst:
+			if err := flushText(); err != nil {
+				return err
+			}
+			// The XML declaration is structural, not content.
+			if tok.Name == "xml" {
+				continue
+			}
+			if p.opts.ReportProcInsts {
+				if err := h.OnProcInst(tok.Name, tok.Text); err != nil {
+					return err
+				}
+			}
+		case xmltext.KindDirective:
+			// DOCTYPE declarations are accepted and skipped.
+		}
+	}
+	if err := flushText(); err != nil {
+		return err
+	}
+	return h.OnEndDocument()
+}
+
+// Parse parses doc with default options (comments skipped, text
+// coalesced) and delivers the events to h.
+func Parse(doc []byte, h Handler) error {
+	return NewParser(ParseOptions{CoalesceText: true}).Parse(doc, h)
+}
+
+// joinStrings concatenates parts with a single allocation.
+func joinStrings(parts []string) string {
+	n := 0
+	for _, s := range parts {
+		n += len(s)
+	}
+	buf := make([]byte, 0, n)
+	for _, s := range parts {
+		buf = append(buf, s...)
+	}
+	return string(buf)
+}
+
+// namespaceStack tracks in-scope prefix bindings across nested
+// elements.
+type namespaceStack struct {
+	// bindings is a flat stack of prefix/URI pairs; frames records how
+	// many bindings each open element added, so pop is O(added).
+	bindings []binding
+	frames   []int
+}
+
+type binding struct {
+	prefix string
+	uri    string
+}
+
+func newNamespaceStack() *namespaceStack {
+	return &namespaceStack{
+		bindings: []binding{{prefix: "xml", uri: XMLNamespaceURI}},
+	}
+}
+
+// push opens a scope for a start tag, registering any xmlns
+// declarations found in attrs.
+func (ns *namespaceStack) push(attrs []xmltext.Attr) {
+	added := 0
+	for _, a := range attrs {
+		prefix, local := xmltext.SplitQName(a.Name)
+		switch {
+		case prefix == "" && local == "xmlns":
+			ns.bindings = append(ns.bindings, binding{prefix: "", uri: a.Value})
+			added++
+		case prefix == "xmlns":
+			ns.bindings = append(ns.bindings, binding{prefix: local, uri: a.Value})
+			added++
+		}
+	}
+	ns.frames = append(ns.frames, added)
+}
+
+// pop closes the scope for an end tag.
+func (ns *namespaceStack) pop() {
+	if len(ns.frames) == 0 {
+		return
+	}
+	added := ns.frames[len(ns.frames)-1]
+	ns.frames = ns.frames[:len(ns.frames)-1]
+	ns.bindings = ns.bindings[:len(ns.bindings)-added]
+}
+
+// lookup returns the URI bound to prefix, with ok=false when unbound.
+func (ns *namespaceStack) lookup(prefix string) (string, bool) {
+	for i := len(ns.bindings) - 1; i >= 0; i-- {
+		if ns.bindings[i].prefix == prefix {
+			return ns.bindings[i].uri, true
+		}
+	}
+	if prefix == "" {
+		// No default namespace in scope: unqualified.
+		return "", true
+	}
+	return "", false
+}
+
+// resolveName resolves a raw (possibly prefixed) name against the
+// current scope. When isElement is true an empty prefix resolves
+// against the default namespace; attributes without a prefix are
+// always unqualified.
+func (ns *namespaceStack) resolveName(raw string, isElement bool) (Name, error) {
+	prefix, local := xmltext.SplitQName(raw)
+	if prefix == "" && !isElement {
+		return Name{Local: local}, nil
+	}
+	uri, ok := ns.lookup(prefix)
+	if !ok {
+		return Name{}, fmt.Errorf("sax: undeclared namespace prefix %q in name %q", prefix, raw)
+	}
+	return Name{Space: uri, Prefix: prefix, Local: local}, nil
+}
+
+// resolve resolves a start-element token: its element name and all its
+// attributes, passing namespace declarations through unresolved.
+func (ns *namespaceStack) resolve(tok xmltext.Token) (Name, []Attribute, error) {
+	name, err := ns.resolveName(tok.Name, true)
+	if err != nil {
+		return Name{}, nil, err
+	}
+	if len(tok.Attrs) == 0 {
+		return name, nil, nil
+	}
+	attrs := make([]Attribute, 0, len(tok.Attrs))
+	for _, a := range tok.Attrs {
+		prefix, local := xmltext.SplitQName(a.Name)
+		if (prefix == "" && local == "xmlns") || prefix == "xmlns" {
+			attrs = append(attrs, Attribute{
+				Name:  Name{Prefix: prefix, Local: local},
+				Value: a.Value,
+			})
+			continue
+		}
+		rn, err := ns.resolveName(a.Name, false)
+		if err != nil {
+			return Name{}, nil, err
+		}
+		attrs = append(attrs, Attribute{Name: rn, Value: a.Value})
+	}
+	return name, attrs, nil
+}

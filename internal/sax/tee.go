@@ -1,0 +1,83 @@
+package sax
+
+// Tee returns a Handler that forwards every event to each of hs in
+// order. The client middleware uses it to drive the deserializer and
+// the event Recorder from a single parse, so that caching the SAX event
+// sequence costs one tokenization, not two.
+func Tee(hs ...Handler) Handler {
+	return teeHandler(hs)
+}
+
+type teeHandler []Handler
+
+var _ Handler = teeHandler(nil)
+
+// OnStartDocument implements Handler.
+func (t teeHandler) OnStartDocument() error {
+	for _, h := range t {
+		if err := h.OnStartDocument(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnEndDocument implements Handler.
+func (t teeHandler) OnEndDocument() error {
+	for _, h := range t {
+		if err := h.OnEndDocument(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnStartElement implements Handler.
+func (t teeHandler) OnStartElement(name Name, attrs []Attribute) error {
+	for _, h := range t {
+		if err := h.OnStartElement(name, attrs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnEndElement implements Handler.
+func (t teeHandler) OnEndElement(name Name) error {
+	for _, h := range t {
+		if err := h.OnEndElement(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnCharacters implements Handler.
+func (t teeHandler) OnCharacters(text string) error {
+	for _, h := range t {
+		if err := h.OnCharacters(text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnComment implements Handler.
+func (t teeHandler) OnComment(text string) error {
+	for _, h := range t {
+		if err := h.OnComment(text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnProcInst implements Handler.
+func (t teeHandler) OnProcInst(target, body string) error {
+	for _, h := range t {
+		if err := h.OnProcInst(target, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}

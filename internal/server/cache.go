@@ -1,0 +1,203 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/soap"
+)
+
+// ResponseCache is the server-side counterpart of the client cache: it
+// stores fully encoded response envelopes keyed by the raw request
+// body, so repeated identical requests skip decoding, the handler, and
+// re-encoding. The paper's related-work section surveys this family
+// (dynamic Web data caching at the server side); it composes with — and
+// is orthogonal to — the client-side cache that is the paper's focus.
+//
+// Keying on raw request bytes requires byte-identical requests for a
+// hit; SOAP clients (including this repository's) serialize
+// deterministically, so equivalent calls from the same stack match.
+// Clients with different prefix conventions simply miss and are served
+// normally.
+type ResponseCache struct {
+	inner      *Dispatcher
+	ttl        time.Duration
+	maxEntries int
+	cacheable  func(operation string) bool
+	now        func() time.Time
+
+	mu    sync.Mutex
+	table map[string]*respEntry
+	head  *respEntry
+	tail  *respEntry
+
+	hits   int64
+	misses int64
+}
+
+// respEntry is one cached encoded response, a node in the LRU list.
+type respEntry struct {
+	key        string
+	body       []byte
+	expires    time.Time
+	prev, next *respEntry
+}
+
+// ResponseCacheConfig configures NewResponseCache.
+type ResponseCacheConfig struct {
+	// TTL bounds entry freshness; 0 means entries never expire.
+	TTL time.Duration
+	// MaxEntries bounds the table; 0 means 4096.
+	MaxEntries int
+	// Cacheable decides per operation; nil caches every operation.
+	Cacheable func(operation string) bool
+	// Clock overrides time.Now, for tests.
+	Clock func() time.Time
+}
+
+// NewResponseCache wraps a Dispatcher with server-side response
+// caching.
+func NewResponseCache(inner *Dispatcher, cfg ResponseCacheConfig) *ResponseCache {
+	maxEntries := cfg.MaxEntries
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	return &ResponseCache{
+		inner:      inner,
+		ttl:        cfg.TTL,
+		maxEntries: maxEntries,
+		cacheable:  cfg.Cacheable,
+		now:        now,
+		table:      make(map[string]*respEntry),
+	}
+}
+
+// Stats returns (hits, misses).
+func (c *ResponseCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached responses.
+func (c *ResponseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.table)
+}
+
+// Handle serves a request, from cache when possible. Faults are never
+// cached.
+func (c *ResponseCache) Handle(request []byte) ([]byte, bool, error) {
+	op, err := soap.SniffOperation(request)
+	if err != nil || op == "" || (c.cacheable != nil && !c.cacheable(op)) {
+		return c.inner.Handle(request)
+	}
+
+	key := string(request)
+	if body, ok := c.lookup(key); ok {
+		return body, false, nil
+	}
+
+	body, isFault, err := c.inner.Handle(request)
+	if err != nil || isFault {
+		return body, isFault, err
+	}
+	c.store(key, body)
+	return body, false, nil
+}
+
+// lookup returns a fresh cached response.
+func (c *ResponseCache) lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.table[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(e)
+		c.misses++
+		return nil, false
+	}
+	c.moveToFrontLocked(e)
+	c.hits++
+	return e.body, true
+}
+
+// store inserts a response.
+func (c *ResponseCache) store(key string, body []byte) {
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	cp := make([]byte, len(body))
+	copy(cp, body)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.table[key]; ok {
+		c.removeLocked(old)
+	}
+	e := &respEntry{key: key, body: cp, expires: expires}
+	c.table[key] = e
+	c.pushFrontLocked(e)
+	for len(c.table) > c.maxEntries && c.tail != nil {
+		c.removeLocked(c.tail)
+	}
+}
+
+// ServeHTTP adapts the caching handler to HTTP, mirroring
+// Dispatcher.ServeHTTP (including validator behaviour).
+func (c *ResponseCache) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	serveSOAP(w, r, c.inner, c.Handle)
+}
+
+// LRU plumbing (same shape as the client cache's, duplicated to keep
+// the packages independent).
+
+func (c *ResponseCache) pushFrontLocked(e *respEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *ResponseCache) moveToFrontLocked(e *respEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlinkLocked(e)
+	c.pushFrontLocked(e)
+}
+
+func (c *ResponseCache) removeLocked(e *respEntry) {
+	delete(c.table, e.key)
+	c.unlinkLocked(e)
+	e.body = nil
+}
+
+func (c *ResponseCache) unlinkLocked(e *respEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/typemap"
+)
+
+// newCachedFixture wires a ResponseCache over an echo dispatcher whose
+// handler invocations are counted.
+func newCachedFixture(t *testing.T, cfg ResponseCacheConfig) (*ResponseCache, *soap.Codec, *atomic.Int64) {
+	t.Helper()
+	reg := typemap.NewRegistry()
+	if err := reg.Register(typemap.QName{Space: ns, Local: "Pair"}, pair{}); err != nil {
+		t.Fatal(err)
+	}
+	codec := soap.NewCodec(reg)
+	d := NewDispatcher(codec, ns)
+	calls := new(atomic.Int64)
+	d.Register("search", func(params []soap.Param) (any, error) {
+		calls.Add(1)
+		q, _ := params[0].Value.(string)
+		return &pair{Key: "result", Value: q}, nil
+	})
+	d.Register("update", func(params []soap.Param) (any, error) {
+		calls.Add(1)
+		return "done", nil
+	})
+	d.Register("boom", func([]soap.Param) (any, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("handler failure")
+	})
+	return NewResponseCache(d, cfg), codec, calls
+}
+
+func TestResponseCacheHit(t *testing.T) {
+	c, codec, calls := newCachedFixture(t, ResponseCacheConfig{})
+	req, _ := codec.EncodeRequest(ns, "search", []soap.Param{{Name: "q", Value: "x"}})
+
+	resp1, fault, err := c.Handle(req)
+	if err != nil || fault {
+		t.Fatalf("err=%v fault=%v", err, fault)
+	}
+	resp2, fault, err := c.Handle(req)
+	if err != nil || fault {
+		t.Fatalf("err=%v fault=%v", err, fault)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("handler calls = %d, want 1", calls.Load())
+	}
+	if !bytes.Equal(resp1, resp2) {
+		t.Error("cached response differs")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+
+	// The cached bytes still decode correctly.
+	msg, err := codec.DecodeEnvelope(resp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Result().(*pair).Value != "x" {
+		t.Errorf("result = %+v", msg.Result())
+	}
+}
+
+func TestResponseCacheDistinctRequestsMiss(t *testing.T) {
+	c, codec, calls := newCachedFixture(t, ResponseCacheConfig{})
+	for _, q := range []string{"a", "b", "a"} {
+		req, _ := codec.EncodeRequest(ns, "search", []soap.Param{{Name: "q", Value: q}})
+		if _, _, err := c.Handle(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("handler calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestResponseCachePolicyFilter(t *testing.T) {
+	c, codec, calls := newCachedFixture(t, ResponseCacheConfig{
+		Cacheable: func(op string) bool { return op == "search" },
+	})
+	req, _ := codec.EncodeRequest(ns, "update", []soap.Param{{Name: "v", Value: "x"}})
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Handle(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Errorf("uncacheable op served from cache: calls = %d", calls.Load())
+	}
+	if c.Len() != 0 {
+		t.Errorf("entries = %d", c.Len())
+	}
+}
+
+func TestResponseCacheFaultNotCached(t *testing.T) {
+	c, codec, calls := newCachedFixture(t, ResponseCacheConfig{})
+	req, _ := codec.EncodeRequest(ns, "boom", nil)
+	for i := 0; i < 2; i++ {
+		_, fault, err := c.Handle(req)
+		if err != nil || !fault {
+			t.Fatalf("err=%v fault=%v", err, fault)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("fault cached: calls = %d", calls.Load())
+	}
+}
+
+func TestResponseCacheTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c, codec, calls := newCachedFixture(t, ResponseCacheConfig{
+		TTL:   time.Minute,
+		Clock: func() time.Time { return now },
+	})
+	req, _ := codec.EncodeRequest(ns, "search", []soap.Param{{Name: "q", Value: "x"}})
+	if _, _, err := c.Handle(req); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, _, err := c.Handle(req); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("expired entry served: calls = %d", calls.Load())
+	}
+}
+
+func TestResponseCacheLRUBound(t *testing.T) {
+	c, codec, _ := newCachedFixture(t, ResponseCacheConfig{MaxEntries: 2})
+	for i := 0; i < 5; i++ {
+		req, _ := codec.EncodeRequest(ns, "search", []soap.Param{{Name: "q", Value: fmt.Sprintf("q%d", i)}})
+		if _, _, err := c.Handle(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("entries = %d, want 2", c.Len())
+	}
+}
+
+func TestResponseCacheMalformedRequestPassesThrough(t *testing.T) {
+	c, _, _ := newCachedFixture(t, ResponseCacheConfig{})
+	resp, fault, err := c.Handle([]byte("garbage"))
+	if err != nil || !fault {
+		t.Fatalf("err=%v fault=%v", err, fault)
+	}
+	if len(resp) == 0 {
+		t.Error("no fault envelope")
+	}
+	if c.Len() != 0 {
+		t.Error("garbage cached")
+	}
+}
+
+func TestResponseCacheConcurrent(t *testing.T) {
+	c, codec, _ := newCachedFixture(t, ResponseCacheConfig{MaxEntries: 8})
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			var err error
+			defer func() { done <- err }()
+			for i := 0; i < 100; i++ {
+				req, _ := codec.EncodeRequest(ns, "search",
+					[]soap.Param{{Name: "q", Value: fmt.Sprintf("q%d", (g+i)%12)}})
+				if _, _, e := c.Handle(req); e != nil {
+					err = e
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSniffOperation(t *testing.T) {
+	_, codec, _ := newCachedFixture(t, ResponseCacheConfig{})
+	req, _ := codec.EncodeRequest(ns, "search", []soap.Param{{Name: "q", Value: "x"}})
+	op, err := soap.SniffOperation(req)
+	if err != nil || op != "search" {
+		t.Errorf("op = %q, err = %v", op, err)
+	}
+
+	fault, _ := codec.EncodeFault(&soap.Fault{Code: "c", String: "s"})
+	op, err = soap.SniffOperation(fault)
+	if err != nil || op != "" {
+		t.Errorf("fault sniff = %q, %v", op, err)
+	}
+
+	empty := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body></e:Body></e:Envelope>`
+	op, err = soap.SniffOperation([]byte(empty))
+	if err != nil || op != "" {
+		t.Errorf("empty body sniff = %q, %v", op, err)
+	}
+
+	selfClosed := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body/></e:Envelope>`
+	op, err = soap.SniffOperation([]byte(selfClosed))
+	if err != nil || op != "" {
+		t.Errorf("self-closed body sniff = %q, %v", op, err)
+	}
+
+	withHeader := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/">` +
+		`<e:Header><tx xmlns="urn:h">1</tx></e:Header>` +
+		`<e:Body><op xmlns="urn:x"><a>1</a></op></e:Body></e:Envelope>`
+	op, err = soap.SniffOperation([]byte(withHeader))
+	if err != nil || op != "op" {
+		t.Errorf("header sniff = %q, %v", op, err)
+	}
+
+	if _, err := soap.SniffOperation([]byte(`<notsoap/>`)); err == nil {
+		t.Error("non-envelope accepted")
+	}
+	if op, err := soap.SniffOperation([]byte(`not xml`)); err == nil && op != "" {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package server is a SOAP 1.1 rpc/encoded service dispatcher: it
+// parses request envelopes, routes to registered operation handlers,
+// and serializes responses or faults. The dummy Google Web services and
+// the portal scenario's back ends run on it.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/transport"
+)
+
+// OpHandler implements one operation: it receives the decoded request
+// parameters and returns the response application object.
+type OpHandler func(params []soap.Param) (any, error)
+
+// Dispatcher routes SOAP requests to operation handlers.
+type Dispatcher struct {
+	codec    *soap.Codec
+	targetNS string
+
+	mu  sync.RWMutex
+	ops map[string]OpHandler
+
+	// LastModified, when set, stamps HTTP responses with a
+	// Last-Modified header and honors If-Modified-Since (the HTTP 1.1
+	// consistency mechanism from paper Section 3.2).
+	lastModified time.Time
+	ttl          time.Duration
+}
+
+// NewDispatcher returns a Dispatcher serving operations in targetNS.
+func NewDispatcher(codec *soap.Codec, targetNS string) *Dispatcher {
+	return &Dispatcher{
+		codec:    codec,
+		targetNS: targetNS,
+		ops:      make(map[string]OpHandler),
+	}
+}
+
+// Register binds an operation name to its handler.
+func (d *Dispatcher) Register(operation string, h OpHandler) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ops[operation] = h
+}
+
+// SetValidatorPolicy enables HTTP cache validators on responses: a
+// Last-Modified timestamp and a Cache-Control max-age of ttl.
+func (d *Dispatcher) SetValidatorPolicy(lastModified time.Time, ttl time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastModified = lastModified
+	d.ttl = ttl
+}
+
+// Handle processes one request envelope and returns the response
+// envelope. Handler errors become fault envelopes, not Go errors; the
+// error return is reserved for encoding failures.
+func (d *Dispatcher) Handle(request []byte) ([]byte, bool, error) {
+	msg, err := d.codec.DecodeEnvelope(request)
+	if err != nil {
+		return d.fault("soapenv:Client", fmt.Sprintf("malformed request: %v", err))
+	}
+	if msg.Wrapper.Local == "" {
+		return d.fault("soapenv:Client", "request has no operation element")
+	}
+	op := msg.Wrapper.Local
+	d.mu.RLock()
+	h, ok := d.ops[op]
+	d.mu.RUnlock()
+	if !ok {
+		return d.fault("soapenv:Client", fmt.Sprintf("unknown operation %q", op))
+	}
+	result, err := h(msg.Params)
+	if err != nil {
+		return d.fault("soapenv:Server", err.Error())
+	}
+	resp, err := d.codec.EncodeResponse(d.targetNS, op, result)
+	if err != nil {
+		return nil, false, fmt.Errorf("server: encode response for %s: %w", op, err)
+	}
+	return resp, false, nil
+}
+
+// fault builds a fault envelope; the bool reports "this is a fault".
+func (d *Dispatcher) fault(code, msg string) ([]byte, bool, error) {
+	body, err := d.codec.EncodeFault(&soap.Fault{Code: code, String: msg})
+	if err != nil {
+		return nil, true, fmt.Errorf("server: encode fault: %w", err)
+	}
+	return body, true, nil
+}
+
+// ServeHTTP implements http.Handler: POST text/xml in, envelope out.
+// Faults are returned with HTTP 500 per SOAP 1.1 over HTTP.
+func (d *Dispatcher) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	serveSOAP(w, r, d, d.Handle)
+}
+
+// serveSOAP adapts a Handle-shaped function to HTTP with the
+// dispatcher's validator policy; shared by Dispatcher and
+// ResponseCache.
+func serveSOAP(w http.ResponseWriter, r *http.Request, d *Dispatcher, handle func([]byte) ([]byte, bool, error)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	d.mu.RLock()
+	lastMod, ttl := d.lastModified, d.ttl
+	d.mu.RUnlock()
+	if !lastMod.IsZero() && transport.NotModified(r, lastMod) {
+		// Per RFC 9111 a 304 carries the validators so the client can
+		// refresh its entry's lifetime.
+		transport.SetValidators(w.Header(), lastMod, ttl)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	resp, isFault, err := handle(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", `text/xml; charset=utf-8`)
+	if !lastMod.IsZero() || ttl > 0 {
+		transport.SetValidators(w.Header(), lastMod, ttl)
+	}
+	if isFault {
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	_, _ = w.Write(resp)
+}

@@ -1,0 +1,325 @@
+package soap
+
+import (
+	"encoding/base64"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"repro/internal/typemap"
+	"repro/internal/xmltext"
+)
+
+// encoder writes one envelope. It tracks namespace prefixes: the five
+// standard namespaces plus the target (service) namespace are declared
+// on the envelope; any further namespaces get fresh nsN prefixes
+// declared at first use.
+type encoder struct {
+	b        strings.Builder
+	reg      *typemap.Registry
+	prefixes map[string]string // namespace URI -> prefix
+	nextNS   int
+}
+
+// newEncoder seeds the prefix table with the standard declarations.
+func (c *Codec) newEncoder(targetNS string) *encoder {
+	e := &encoder{
+		reg: c.reg,
+		prefixes: map[string]string{
+			EnvNS:      envPrefix,
+			EncNS:      encPrefix,
+			SchemaNS:   xsdPrefix,
+			InstanceNS: xsiPrefix,
+		},
+		nextNS: 2,
+	}
+	if targetNS != "" {
+		e.prefixes[targetNS] = targetPrefix
+	}
+	return e
+}
+
+// EncodeRequest serializes an rpc/encoded request envelope for the
+// operation in the given target namespace.
+func (c *Codec) EncodeRequest(targetNS, operation string, params []Param) ([]byte, error) {
+	return c.encodeCall(targetNS, operation, params)
+}
+
+// EncodeResponse serializes an rpc/encoded response envelope. By
+// convention the wrapper element is operation+"Response" and the single
+// part is named "return".
+func (c *Codec) EncodeResponse(targetNS, operation string, result any) ([]byte, error) {
+	return c.encodeCall(targetNS, operation+"Response", []Param{{Name: "return", Value: result}})
+}
+
+// EncodeFault serializes a SOAP fault envelope.
+func (c *Codec) EncodeFault(f *Fault) ([]byte, error) {
+	e := c.newEncoder("")
+	e.openEnvelope("")
+	e.b.WriteString("<" + envPrefix + ":Fault>")
+	e.simpleChild("faultcode", f.Code)
+	e.simpleChild("faultstring", f.String)
+	if f.Actor != "" {
+		e.simpleChild("faultactor", f.Actor)
+	}
+	if f.Detail != "" {
+		e.simpleChild("detail", f.Detail)
+	}
+	e.b.WriteString("</" + envPrefix + ":Fault>")
+	e.closeEnvelope()
+	return []byte(e.b.String()), nil
+}
+
+// encodeCall writes a full envelope whose Body holds one wrapper
+// element containing the given params.
+func (c *Codec) encodeCall(targetNS, wrapper string, params []Param) ([]byte, error) {
+	e := c.newEncoder(targetNS)
+	e.openEnvelope(targetNS)
+
+	wrapperName := wrapper
+	if targetNS != "" {
+		wrapperName = targetPrefix + ":" + wrapper
+	}
+	e.b.WriteString("<" + wrapperName + " " + envPrefix + `:encodingStyle="` + EncNS + `">`)
+	for _, p := range params {
+		if err := e.value(p.Name, p.Value); err != nil {
+			return nil, fmt.Errorf("soap: encode %s.%s: %w", wrapper, p.Name, err)
+		}
+	}
+	e.b.WriteString("</" + wrapperName + ">")
+
+	e.closeEnvelope()
+	return []byte(e.b.String()), nil
+}
+
+// openEnvelope writes the envelope and body start tags with the
+// standard namespace declarations.
+func (e *encoder) openEnvelope(targetNS string) {
+	e.b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>`)
+	e.b.WriteString("<" + envPrefix + ":Envelope")
+	e.decl(envPrefix, EnvNS)
+	e.decl(encPrefix, EncNS)
+	e.decl(xsdPrefix, SchemaNS)
+	e.decl(xsiPrefix, InstanceNS)
+	if targetNS != "" {
+		e.decl(targetPrefix, targetNS)
+	}
+	e.b.WriteString("><" + envPrefix + ":Body>")
+}
+
+// closeEnvelope writes the body and envelope end tags.
+func (e *encoder) closeEnvelope() {
+	e.b.WriteString("</" + envPrefix + ":Body></" + envPrefix + ":Envelope>")
+}
+
+// decl writes an xmlns declaration.
+func (e *encoder) decl(prefix, uri string) {
+	e.b.WriteString(` xmlns:` + prefix + `="`)
+	xmltext.EscapeAttr(&e.b, uri)
+	e.b.WriteByte('"')
+}
+
+// simpleChild writes an untyped simple element (used in faults).
+func (e *encoder) simpleChild(name, text string) {
+	e.b.WriteString("<" + name + ">")
+	xmltext.EscapeText(&e.b, text)
+	e.b.WriteString("</" + name + ">")
+}
+
+// prefixFor returns the prefix for a namespace URI, minting and
+// declaring a new one on the current element when unseen. The returned
+// decl string is non-empty when a declaration must be appended to the
+// open tag being built.
+func (e *encoder) prefixFor(uri string) (prefix, decl string) {
+	if p, ok := e.prefixes[uri]; ok {
+		return p, ""
+	}
+	p := "ns" + strconv.Itoa(e.nextNS)
+	e.nextNS++
+	e.prefixes[uri] = p
+	return p, ` xmlns:` + p + `="` + xmltext.EscapeAttrString(uri) + `"`
+}
+
+// qref renders a QName as prefix:local, returning any xmlns declaration
+// needed.
+func (e *encoder) qref(q typemap.QName) (ref, decl string) {
+	if q.Space == "" {
+		return q.Local, ""
+	}
+	p, d := e.prefixFor(q.Space)
+	return p + ":" + q.Local, d
+}
+
+// value encodes one named value as an element with xsi:type.
+func (e *encoder) value(name string, v any) error {
+	if v == nil {
+		e.b.WriteString("<" + name + " " + xsiPrefix + `:nil="true"/>`)
+		return nil
+	}
+	rv := reflect.ValueOf(v)
+	return e.reflectValue(name, rv)
+}
+
+// reflectValue dispatches on the reflected kind of rv.
+func (e *encoder) reflectValue(name string, rv reflect.Value) error {
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if rv.IsNil() {
+			e.b.WriteString("<" + name + " " + xsiPrefix + `:nil="true"/>`)
+			return nil
+		}
+		return e.reflectValue(name, rv.Elem())
+
+	case reflect.String:
+		e.typedSimple(name, "string", xmltext.EscapeTextString(rv.String()))
+		return nil
+	case reflect.Bool:
+		e.typedSimple(name, "boolean", strconv.FormatBool(rv.Bool()))
+		return nil
+	case reflect.Int, reflect.Int32:
+		e.typedSimple(name, "int", strconv.FormatInt(rv.Int(), 10))
+		return nil
+	case reflect.Int8:
+		e.typedSimple(name, "byte", strconv.FormatInt(rv.Int(), 10))
+		return nil
+	case reflect.Int16:
+		e.typedSimple(name, "short", strconv.FormatInt(rv.Int(), 10))
+		return nil
+	case reflect.Int64:
+		e.typedSimple(name, "long", strconv.FormatInt(rv.Int(), 10))
+		return nil
+	case reflect.Uint, reflect.Uint16, reflect.Uint32:
+		e.typedSimple(name, "unsignedInt", strconv.FormatUint(rv.Uint(), 10))
+		return nil
+	case reflect.Uint64:
+		e.typedSimple(name, "unsignedLong", strconv.FormatUint(rv.Uint(), 10))
+		return nil
+	case reflect.Float32:
+		e.typedSimple(name, "float", strconv.FormatFloat(rv.Float(), 'g', -1, 32))
+		return nil
+	case reflect.Float64:
+		e.typedSimple(name, "double", strconv.FormatFloat(rv.Float(), 'g', -1, 64))
+		return nil
+
+	case reflect.Slice, reflect.Array:
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			e.encodeBytes(name, rv)
+			return nil
+		}
+		return e.encodeArray(name, rv)
+
+	case reflect.Struct:
+		return e.encodeStruct(name, rv)
+
+	default:
+		return fmt.Errorf("unsupported kind %s", rv.Kind())
+	}
+}
+
+// typedSimple writes <name xsi:type="xsd:local">text</name>. The text
+// must already be escaped.
+func (e *encoder) typedSimple(name, xsdLocal, escaped string) {
+	e.b.WriteString("<" + name + " " + xsiPrefix + `:type="` + xsdPrefix + ":" + xsdLocal + `">`)
+	e.b.WriteString(escaped)
+	e.b.WriteString("</" + name + ">")
+}
+
+// encodeBytes writes a base64Binary element.
+func (e *encoder) encodeBytes(name string, rv reflect.Value) {
+	var data []byte
+	if rv.Kind() == reflect.Slice {
+		data = rv.Bytes()
+	} else {
+		data = make([]byte, rv.Len())
+		reflect.Copy(reflect.ValueOf(data), rv)
+	}
+	e.b.WriteString("<" + name + " " + xsiPrefix + `:type="` + xsdPrefix + `:base64Binary">`)
+	e.b.WriteString(base64.StdEncoding.EncodeToString(data))
+	e.b.WriteString("</" + name + ">")
+}
+
+// encodeArray writes a SOAP-encoded array with soapenc:arrayType.
+func (e *encoder) encodeArray(name string, rv reflect.Value) error {
+	itemType := rv.Type().Elem()
+	itemRef, decl, err := e.typeRefFor(itemType)
+	if err != nil {
+		return fmt.Errorf("array %s: %w", name, err)
+	}
+	e.b.WriteString("<" + name + " " + xsiPrefix + `:type="` + encPrefix + `:Array"`)
+	e.b.WriteString(decl)
+	e.b.WriteString(" " + encPrefix + `:arrayType="` + itemRef + "[" + strconv.Itoa(rv.Len()) + `]">`)
+	for i := 0; i < rv.Len(); i++ {
+		if err := e.reflectValue("item", rv.Index(i)); err != nil {
+			return fmt.Errorf("array %s[%d]: %w", name, i, err)
+		}
+	}
+	e.b.WriteString("</" + name + ">")
+	return nil
+}
+
+// encodeStruct writes a registered complex type with its bean fields as
+// child elements.
+func (e *encoder) encodeStruct(name string, rv reflect.Value) error {
+	t := rv.Type()
+	q, ok := e.reg.NameFor(rv.Interface())
+	if !ok {
+		return fmt.Errorf("struct type %s is not registered", t)
+	}
+	ref, decl := e.qref(q)
+	e.b.WriteString("<" + name)
+	e.b.WriteString(decl)
+	e.b.WriteString(" " + xsiPrefix + `:type="` + ref + `">`)
+	info := e.reg.InfoForType(t)
+	for _, f := range info.Fields {
+		if err := e.reflectValue(f.XMLName, rv.Field(f.Index)); err != nil {
+			return fmt.Errorf("field %s.%s: %w", t, f.GoName, err)
+		}
+	}
+	e.b.WriteString("</" + name + ">")
+	return nil
+}
+
+// typeRefFor renders the xsi type reference for a Go type (used for
+// array item types), returning any xmlns declaration required.
+func (e *encoder) typeRefFor(t reflect.Type) (ref, decl string, err error) {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	switch t.Kind() {
+	case reflect.String:
+		return xsdPrefix + ":string", "", nil
+	case reflect.Bool:
+		return xsdPrefix + ":boolean", "", nil
+	case reflect.Int, reflect.Int32:
+		return xsdPrefix + ":int", "", nil
+	case reflect.Int8:
+		return xsdPrefix + ":byte", "", nil
+	case reflect.Int16:
+		return xsdPrefix + ":short", "", nil
+	case reflect.Int64:
+		return xsdPrefix + ":long", "", nil
+	case reflect.Uint, reflect.Uint16, reflect.Uint32:
+		return xsdPrefix + ":unsignedInt", "", nil
+	case reflect.Uint64:
+		return xsdPrefix + ":unsignedLong", "", nil
+	case reflect.Float32:
+		return xsdPrefix + ":float", "", nil
+	case reflect.Float64:
+		return xsdPrefix + ":double", "", nil
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return xsdPrefix + ":base64Binary", "", nil
+		}
+		return encPrefix + ":Array", "", nil
+	case reflect.Struct:
+		q, ok := e.reg.NameForType(t)
+		if !ok {
+			return "", "", fmt.Errorf("struct type %s is not registered", t)
+		}
+		r, d := e.qref(q)
+		return r, d, nil
+	default:
+		return "", "", fmt.Errorf("unsupported array item kind %s", t.Kind())
+	}
+}

@@ -1,0 +1,114 @@
+package soap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/typemap"
+)
+
+// Types registered under a second namespace exercise the encoder's
+// prefix minting: namespaces beyond the envelope's pre-declared set get
+// fresh nsN prefixes declared at first use.
+
+const otherNS = "urn:OtherService"
+
+type crossRef struct {
+	Local  directoryCategory
+	Remote foreignThing
+}
+
+type foreignThing struct {
+	Value string
+}
+
+func newMultiNSCodec(t *testing.T) *Codec {
+	t.Helper()
+	reg := typemap.NewRegistry()
+	if err := reg.Register(typemap.QName{Space: testNS, Local: "DirectoryCategory"}, directoryCategory{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(typemap.QName{Space: testNS, Local: "CrossRef"}, crossRef{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(typemap.QName{Space: otherNS, Local: "ForeignThing"}, foreignThing{}); err != nil {
+		t.Fatal(err)
+	}
+	return NewCodec(reg)
+}
+
+func TestEncodeSecondNamespaceMintsPrefix(t *testing.T) {
+	c := newMultiNSCodec(t)
+	doc, err := c.EncodeResponse(testNS, "op", &crossRef{
+		Local:  directoryCategory{FullViewableName: "L"},
+		Remote: foreignThing{Value: "R"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(doc)
+	if !strings.Contains(s, `xmlns:ns2="urn:OtherService"`) {
+		t.Errorf("second namespace not declared:\n%s", s)
+	}
+	if !strings.Contains(s, `xsi:type="ns2:ForeignThing"`) {
+		t.Errorf("foreign type not prefixed:\n%s", s)
+	}
+
+	// And the whole thing round-trips.
+	msg, err := c.DecodeEnvelope(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.Result().(*crossRef)
+	if got.Local.FullViewableName != "L" || got.Remote.Value != "R" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestEncodeSecondNamespaceArray(t *testing.T) {
+	// An array of foreign-namespace items mints the prefix in the
+	// arrayType attribute.
+	c := newMultiNSCodec(t)
+	doc, err := c.EncodeResponse(testNS, "op", []foreignThing{{Value: "a"}, {Value: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(doc), `soapenc:arrayType="ns2:ForeignThing[2]"`) {
+		t.Errorf("array item type not prefixed:\n%s", doc)
+	}
+	msg, err := c.DecodeEnvelope(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := msg.Result().([]foreignThing)
+	if len(items) != 2 || items[0].Value != "a" || items[1].Value != "b" {
+		t.Errorf("items = %+v", items)
+	}
+}
+
+func TestMultiRefNestedIDTarget(t *testing.T) {
+	// An href can target an id declared on a NESTED element of another
+	// carrier, not only top-level multiRef children (Axis emitted ids
+	// on shared strings inside carriers).
+	doc := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"
+	    xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"
+	    xmlns:xsd="http://www.w3.org/2001/XMLSchema" xmlns:m="urn:TestSearch">
+	 <e:Body>
+	  <m:opResponse>
+	   <return xsi:type="m:DirectoryCategory">
+	     <fullViewableName id="shared" xsi:type="xsd:string">deep value</fullViewableName>
+	     <specialEncoding href="#shared"/>
+	   </return>
+	  </m:opResponse>
+	 </e:Body>
+	</e:Envelope>`
+	c := newTestCodec(t)
+	msg, err := c.DecodeEnvelope([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := msg.Result().(*directoryCategory)
+	if dc.FullViewableName != "deep value" || dc.SpecialEncoding != "deep value" {
+		t.Errorf("got %+v", dc)
+	}
+}

@@ -1,0 +1,185 @@
+package soap
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/typemap"
+)
+
+// These tests cover decoding without xsi:type on child elements: the
+// expected Go type comes from the parent context (struct field or
+// declared array item type). Literal-style encoders omit xsi:type, so
+// a lenient processor must cope.
+
+type narrowTypes struct {
+	Small   int16
+	Tiny    int8
+	Wide    uint64
+	Ratio   float32
+	Flag    bool
+	Label   string
+	Blob    []byte
+	Nested  directoryCategory
+	Many    []directoryCategory
+	PtrSide *directoryCategory
+}
+
+func newUntypedCodec(t *testing.T) *Codec {
+	t.Helper()
+	reg := typemap.NewRegistry()
+	if err := reg.Register(typemap.QName{Space: testNS, Local: "DirectoryCategory"}, directoryCategory{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(typemap.QName{Space: testNS, Local: "NarrowTypes"}, narrowTypes{}); err != nil {
+		t.Fatal(err)
+	}
+	return NewCodec(reg)
+}
+
+func TestDecodeUntypedStructFields(t *testing.T) {
+	// Only the outer element declares its type; every field relies on
+	// the registry's field metadata.
+	doc := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"
+	    xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xmlns:m="urn:TestSearch">
+	 <e:Body>
+	  <m:opResponse>
+	   <return xsi:type="m:NarrowTypes">
+	    <small>-12</small>
+	    <tiny>7</tiny>
+	    <wide>18446744073709551615</wide>
+	    <ratio>2.5</ratio>
+	    <flag>true</flag>
+	    <label>plain</label>
+	    <blob>aGk=</blob>
+	    <nested><fullViewableName>Top</fullViewableName><specialEncoding>u</specialEncoding></nested>
+	    <many><fullViewableName>A</fullViewableName><specialEncoding></specialEncoding></many>
+	    <ptrSide><fullViewableName>P</fullViewableName><specialEncoding></specialEncoding></ptrSide>
+	   </return>
+	  </m:opResponse>
+	 </e:Body>
+	</e:Envelope>`
+	c := newUntypedCodec(t)
+	msg, err := c.DecodeEnvelope([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msg.Result().(*narrowTypes)
+	if !ok {
+		t.Fatalf("result = %T", msg.Result())
+	}
+	want := &narrowTypes{
+		Small:   -12,
+		Tiny:    7,
+		Wide:    18446744073709551615,
+		Ratio:   2.5,
+		Flag:    true,
+		Label:   "plain",
+		Blob:    []byte("hi"),
+		Nested:  directoryCategory{FullViewableName: "Top", SpecialEncoding: "u"},
+		Many:    []directoryCategory{{FullViewableName: "A"}},
+		PtrSide: &directoryCategory{FullViewableName: "P"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeUntypedSliceFieldMultipleItems(t *testing.T) {
+	// A slice field receives several same-named children, each decoded
+	// with the element type as expectation.
+	doc := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"
+	    xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xmlns:m="urn:TestSearch">
+	 <e:Body><m:op><r xsi:type="m:NarrowTypes">
+	    <many><fullViewableName>A</fullViewableName><specialEncoding/></many>
+	    <many><fullViewableName>B</fullViewableName><specialEncoding/></many>
+	 </r></m:op></e:Body></e:Envelope>`
+	c := newUntypedCodec(t)
+	msg, err := c.DecodeEnvelope([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.Result().(*narrowTypes)
+	// Repeated same-named children append: literal-style arrays.
+	if len(got.Many) != 2 || got.Many[0].FullViewableName != "A" || got.Many[1].FullViewableName != "B" {
+		t.Errorf("many = %+v", got.Many)
+	}
+}
+
+func TestDecodeNumericWidening(t *testing.T) {
+	// xsi:type says int; the field is int16: the conversion must be
+	// applied (convertSafe path).
+	doc := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"
+	    xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"
+	    xmlns:xsd="http://www.w3.org/2001/XMLSchema" xmlns:m="urn:TestSearch">
+	 <e:Body><m:op><r xsi:type="m:NarrowTypes">
+	    <small xsi:type="xsd:int">33</small>
+	    <ratio xsi:type="xsd:double">0.5</ratio>
+	 </r></m:op></e:Body></e:Envelope>`
+	c := newUntypedCodec(t)
+	msg, err := c.DecodeEnvelope([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.Result().(*narrowTypes)
+	if got.Small != 33 || got.Ratio != 0.5 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestDecodeArrayWithUntypedItems(t *testing.T) {
+	// soapenc array with arrayType but items without xsi:type: item
+	// expectation comes from the array declaration.
+	doc := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"
+	    xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"
+	    xmlns:enc="http://schemas.xmlsoap.org/soap/encoding/" xmlns:m="urn:TestSearch">
+	 <e:Body><m:op>
+	   <list xsi:type="enc:Array" enc:arrayType="m:DirectoryCategory[2]">
+	     <item><fullViewableName>A</fullViewableName><specialEncoding/></item>
+	     <item><fullViewableName>B</fullViewableName><specialEncoding/></item>
+	   </list>
+	 </m:op></e:Body></e:Envelope>`
+	c := newUntypedCodec(t)
+	msg, err := c.DecodeEnvelope([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats, ok := msg.Result().([]directoryCategory)
+	if !ok {
+		t.Fatalf("result = %T", msg.Result())
+	}
+	if len(cats) != 2 || cats[0].FullViewableName != "A" || cats[1].FullViewableName != "B" {
+		t.Errorf("cats = %+v", cats)
+	}
+}
+
+func TestDecodeUntypedBytesRoundTrip(t *testing.T) {
+	c := newUntypedCodec(t)
+	doc := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"
+	    xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xmlns:m="urn:TestSearch">
+	 <e:Body><m:op><r xsi:type="m:NarrowTypes"><blob>AAEC/w==</blob></r></m:op></e:Body></e:Envelope>`
+	msg, err := c.DecodeEnvelope([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.Result().(*narrowTypes)
+	if !bytes.Equal(got.Blob, []byte{0, 1, 2, 255}) {
+		t.Errorf("blob = %v", got.Blob)
+	}
+}
+
+func TestDecodeUntypedUnsupportedFieldKind(t *testing.T) {
+	type withMap struct {
+		M map[string]string
+	}
+	reg := typemap.NewRegistry()
+	_ = reg.Register(typemap.QName{Space: testNS, Local: "WithMap"}, withMap{})
+	c := NewCodec(reg)
+	doc := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"
+	    xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xmlns:m="urn:TestSearch">
+	 <e:Body><m:op><r xsi:type="m:WithMap"><m><k>v</k></m></r></m:op></e:Body></e:Envelope>`
+	if _, err := c.DecodeEnvelope([]byte(doc)); err == nil {
+		t.Error("map field without xsi:type accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestHTTPSend(t *testing.T) {
+	var gotAction, gotCT string
+	var gotBody []byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotAction = r.Header.Get("SOAPAction")
+		gotCT = r.Header.Get("Content-Type")
+		buf := make([]byte, r.ContentLength)
+		_, _ = r.Body.Read(buf)
+		gotBody = buf
+		w.Header().Set("Content-Type", "text/xml")
+		_, _ = w.Write([]byte("<resp/>"))
+	}))
+	defer srv.Close()
+
+	tr := &HTTP{}
+	resp, err := tr.Send(context.Background(), &Request{Endpoint: srv.URL, SOAPAction: "urn:x#op", Body: []byte("<req/>")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "<resp/>" || resp.Status != 200 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if gotAction != `"urn:x#op"` {
+		t.Errorf("SOAPAction = %q", gotAction)
+	}
+	if gotCT != "text/xml; charset=utf-8" {
+		t.Errorf("Content-Type = %q", gotCT)
+	}
+	if string(gotBody) != "<req/>" {
+		t.Errorf("body = %q", gotBody)
+	}
+}
+
+func TestHTTPSend500CarriesFaultBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte("<fault/>"))
+	}))
+	defer srv.Close()
+	tr := &HTTP{}
+	resp, err := tr.Send(context.Background(), &Request{Endpoint: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 500 || string(resp.Body) != "<fault/>" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestHTTPSendUnexpectedStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	tr := &HTTP{}
+	_, err := tr.Send(context.Background(), &Request{Endpoint: srv.URL})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != 404 {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHTTPSendContextCancel(t *testing.T) {
+	blocked := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-blocked
+	}))
+	defer srv.Close()
+	defer close(blocked)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	tr := &HTTP{}
+	if _, err := tr.Send(ctx, &Request{Endpoint: srv.URL}); err == nil {
+		t.Error("expected context deadline error")
+	}
+}
+
+func TestInProcess(t *testing.T) {
+	tr := &InProcess{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("SOAPAction") == "" {
+			t.Error("SOAPAction not propagated")
+		}
+		w.Header().Set("Cache-Control", "max-age=60")
+		_, _ = w.Write([]byte("ok"))
+	})}
+	resp, err := tr.Send(context.Background(), &Request{Endpoint: "http://local/", SOAPAction: "a", Body: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "ok" || resp.Header.Get("Cache-Control") != "max-age=60" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestInProcessStatusError(t *testing.T) {
+	tr := &InProcess{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	})}
+	_, err := tr.Send(context.Background(), &Request{Endpoint: "http://local/"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadGateway {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFuncTransport(t *testing.T) {
+	tr := Func(func(_ context.Context, req *Request) (*Response, error) {
+		return &Response{Body: []byte(req.Endpoint), Status: 200}, nil
+	})
+	resp, err := tr.Send(context.Background(), &Request{Endpoint: "ep"})
+	if err != nil || string(resp.Body) != "ep" {
+		t.Errorf("resp = %+v, err = %v", resp, err)
+	}
+}
+
+func TestParseCacheControl(t *testing.T) {
+	d := ParseCacheControl("public, max-age=3600")
+	if !d.Public || !d.HasMaxAge || d.MaxAge != time.Hour {
+		t.Errorf("d = %+v", d)
+	}
+	d = ParseCacheControl("no-store")
+	if !d.NoStore {
+		t.Errorf("d = %+v", d)
+	}
+	d = ParseCacheControl("private, no-cache, max-age=bogus")
+	if !d.Private || !d.NoCache || d.HasMaxAge {
+		t.Errorf("d = %+v", d)
+	}
+}
+
+func TestFreshnessLifetime(t *testing.T) {
+	now := time.Now()
+
+	h := http.Header{}
+	h.Set("Cache-Control", "max-age=120")
+	if life, ok := FreshnessLifetime(h, now); !ok || life != 2*time.Minute {
+		t.Errorf("max-age: %v %v", life, ok)
+	}
+
+	h = http.Header{}
+	h.Set("Cache-Control", "no-store")
+	if _, ok := FreshnessLifetime(h, now); ok {
+		t.Error("no-store should forbid caching")
+	}
+
+	h = http.Header{}
+	h.Set("Expires", now.Add(time.Hour).UTC().Format(http.TimeFormat))
+	life, ok := FreshnessLifetime(h, now)
+	if !ok || life < 59*time.Minute || life > time.Hour {
+		t.Errorf("expires: %v %v", life, ok)
+	}
+
+	h = http.Header{}
+	h.Set("Expires", now.Add(-time.Hour).UTC().Format(http.TimeFormat))
+	if _, ok := FreshnessLifetime(h, now); ok {
+		t.Error("past Expires should forbid caching")
+	}
+
+	if _, ok := FreshnessLifetime(http.Header{}, now); ok {
+		t.Error("no headers give no lifetime")
+	}
+}
+
+func TestNotModified(t *testing.T) {
+	lastMod := time.Date(2004, 3, 1, 12, 0, 0, 0, time.UTC)
+
+	r := httptest.NewRequest(http.MethodPost, "/", nil)
+	r.Header.Set("If-Modified-Since", lastMod.Format(http.TimeFormat))
+	if !NotModified(r, lastMod) {
+		t.Error("same timestamp should be not-modified")
+	}
+
+	r.Header.Set("If-Modified-Since", lastMod.Add(-time.Hour).Format(http.TimeFormat))
+	if NotModified(r, lastMod) {
+		t.Error("older validator should be modified")
+	}
+
+	r.Header.Del("If-Modified-Since")
+	if NotModified(r, lastMod) {
+		t.Error("no header should be modified")
+	}
+
+	r.Header.Set("If-Modified-Since", "garbage")
+	if NotModified(r, lastMod) {
+		t.Error("bad header should be modified")
+	}
+}
+
+func TestSetValidators(t *testing.T) {
+	h := http.Header{}
+	lm := time.Date(2004, 3, 1, 12, 0, 0, 0, time.UTC)
+	SetValidators(h, lm, 90*time.Second)
+	if h.Get("Last-Modified") != lm.Format(http.TimeFormat) {
+		t.Errorf("Last-Modified = %q", h.Get("Last-Modified"))
+	}
+	if h.Get("Cache-Control") != "max-age=90" {
+		t.Errorf("Cache-Control = %q", h.Get("Cache-Control"))
+	}
+}
+
+func TestStatusErrorTruncation(t *testing.T) {
+	long := make([]byte, 500)
+	for i := range long {
+		long[i] = 'x'
+	}
+	e := &StatusError{Status: 400, Body: string(long)}
+	if len(e.Error()) > 300 {
+		t.Errorf("error message too long: %d", len(e.Error()))
+	}
+}

@@ -1,0 +1,19 @@
+package wsdlgen
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// readCheckedIn loads the committed generated file for the staleness
+// check.
+func readCheckedIn() (string, error) {
+	_, thisFile, _, _ := runtime.Caller(0)
+	path := filepath.Join(filepath.Dir(thisFile), "..", "googlegen", "googlegen.go")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

@@ -1,0 +1,310 @@
+// Package wsdlgen generates Go source from a WSDL service description:
+// struct types for the schema's complex types, deep CloneDeep methods,
+// a RegisterTypes function for the typemap registry, and a typed
+// service client with one method per operation.
+//
+// It is this repository's WSDL compiler — the analog of Axis's
+// WSDL2Java, including the improvement the paper proposes in Section
+// 4.2.3-C: "it should be easy for the WSDL compiler to add a proper
+// deep clone method to generated classes." Generated types therefore
+// qualify for the fastest copying cache representation (copy by clone)
+// automatically.
+package wsdlgen
+
+import (
+	"fmt"
+	"go/format"
+	"sort"
+	"strings"
+
+	"repro/internal/typemap"
+	"repro/internal/wsdl"
+	"repro/internal/xsd"
+)
+
+// Options configure generation.
+type Options struct {
+	// Package is the generated package name; required.
+	Package string
+	// SkipClient omits the typed service client (types only).
+	SkipClient bool
+}
+
+// Generate produces gofmt-formatted Go source for the definitions.
+func Generate(defs *wsdl.Definitions, opts Options) ([]byte, error) {
+	if opts.Package == "" {
+		return nil, fmt.Errorf("wsdlgen: Options.Package is required")
+	}
+	g := &generator{defs: defs, opts: opts}
+	if err := g.collectTypes(); err != nil {
+		return nil, err
+	}
+	src, err := g.emit()
+	if err != nil {
+		return nil, err
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		return nil, fmt.Errorf("wsdlgen: generated source does not format: %w\n%s", err, src)
+	}
+	return formatted, nil
+}
+
+// genType is one struct to generate.
+type genType struct {
+	XMLName typemap.QName
+	GoName  string
+	Fields  []genField
+}
+
+// genField is one struct field.
+type genField struct {
+	GoName  string
+	XMLName string
+	GoType  string // rendered Go type
+	// refKind drives clone generation.
+	refKind refKind
+	// elemGoName is the element struct's Go name for slice/struct refs.
+	elemGoName string
+}
+
+// refKind classifies a field for clone generation.
+type refKind int
+
+const (
+	refNone        refKind = iota // value copied by struct assignment
+	refBytes                      // []byte
+	refSliceSimple                // slice of reference-free values
+	refSliceDeep                  // slice of structs that need deep clone
+	refPtrStruct                  // *Struct
+	refStructDeep                 // embedded struct value that needs deep clone
+)
+
+// generator carries the generation state.
+type generator struct {
+	defs  *wsdl.Definitions
+	opts  Options
+	types []genType
+	// byLocal maps schema local names to generated type indices.
+	byLocal map[string]int
+	// arrayOf maps array-type local names to their item type QName.
+	arrayOf map[string]typemap.QName
+}
+
+// collectTypes walks the schemas and plans the generated structs.
+func (g *generator) collectTypes() error {
+	g.byLocal = make(map[string]int)
+	g.arrayOf = make(map[string]typemap.QName)
+
+	// First pass: split complex types from array wrappers.
+	var order []string
+	for _, s := range g.defs.Schemas {
+		var locals []string
+		for local := range s.Types {
+			locals = append(locals, local)
+		}
+		sort.Strings(locals)
+		for _, local := range locals {
+			t := s.Types[local]
+			if t.Kind == xsd.KindArray {
+				g.arrayOf[local] = t.ArrayOf
+				continue
+			}
+			order = append(order, local)
+		}
+	}
+
+	// Second pass: build struct plans.
+	for _, local := range order {
+		t, _ := g.schemaType(local)
+		gt := genType{
+			XMLName: t.Name,
+			GoName:  upperFirst(local),
+		}
+		for _, el := range t.Elements {
+			f, err := g.planField(el)
+			if err != nil {
+				return fmt.Errorf("wsdlgen: type %s: %w", local, err)
+			}
+			gt.Fields = append(gt.Fields, f)
+		}
+		g.byLocal[local] = len(g.types)
+		g.types = append(g.types, gt)
+	}
+
+	// Third pass: resolve deep-clone needs now that all types exist.
+	for i := range g.types {
+		for j := range g.types[i].Fields {
+			g.resolveRefKind(&g.types[i].Fields[j])
+		}
+	}
+	return nil
+}
+
+// schemaType finds a named type across schemas.
+func (g *generator) schemaType(local string) (*xsd.Type, bool) {
+	for _, s := range g.defs.Schemas {
+		if t, ok := s.TypeByName(local); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// planField maps a schema element declaration to a Go field.
+func (g *generator) planField(el xsd.Element) (genField, error) {
+	f := genField{
+		GoName:  upperFirst(el.Name),
+		XMLName: el.Name,
+	}
+	goType, elem, kind, err := g.goTypeFor(el.Type)
+	if err != nil {
+		return genField{}, fmt.Errorf("element %s: %w", el.Name, err)
+	}
+	f.GoType, f.elemGoName, f.refKind = goType, elem, kind
+
+	if el.MaxOccurs == -1 && !strings.HasPrefix(f.GoType, "[]") {
+		f.GoType = "[]" + f.GoType
+		f.elemGoName = strings.TrimPrefix(goType, "*")
+		f.refKind = refSliceSimple // refined in resolveRefKind
+	}
+	if el.Nillable && !strings.HasPrefix(f.GoType, "[]") && !strings.HasPrefix(f.GoType, "*") {
+		if _, isStruct := g.lookupLocal(f.elemGoName); isStruct {
+			f.GoType = "*" + f.GoType
+			f.refKind = refPtrStruct
+		}
+	}
+	return f, nil
+}
+
+// lookupLocal reports whether a Go type name corresponds to a generated
+// struct.
+func (g *generator) lookupLocal(goName string) (int, bool) {
+	for i := range g.types {
+		if g.types[i].GoName == goName {
+			return i, true
+		}
+	}
+	// During planField the types slice may be incomplete; fall back to
+	// the schema map.
+	for local, idx := range g.byLocal {
+		if upperFirst(local) == goName {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// goTypeFor renders the Go type for a schema type reference.
+func (g *generator) goTypeFor(q typemap.QName) (goType, elemGoName string, kind refKind, err error) {
+	if xsd.IsBuiltin(q) {
+		switch q.Local {
+		case "string", "anyURI", "dateTime":
+			return "string", "", refNone, nil
+		case "boolean":
+			return "bool", "", refNone, nil
+		case "int", "integer":
+			return "int", "", refNone, nil
+		case "long":
+			return "int64", "", refNone, nil
+		case "short":
+			return "int16", "", refNone, nil
+		case "byte":
+			return "int8", "", refNone, nil
+		case "unsignedInt":
+			return "uint", "", refNone, nil
+		case "unsignedLong":
+			return "uint64", "", refNone, nil
+		case "float":
+			return "float32", "", refNone, nil
+		case "double", "decimal":
+			return "float64", "", refNone, nil
+		case "base64Binary":
+			return "[]byte", "", refBytes, nil
+		case "anyType":
+			return "any", "", refNone, nil
+		}
+		return "", "", refNone, fmt.Errorf("unsupported builtin %s", q)
+	}
+
+	// Array wrapper type → slice of item type.
+	if item, ok := g.arrayOf[q.Local]; ok {
+		itemGo, _, _, err := g.goTypeFor(item)
+		if err != nil {
+			return "", "", refNone, err
+		}
+		return "[]" + itemGo, strings.TrimPrefix(itemGo, "*"), refSliceSimple, nil
+	}
+
+	// Another complex type → embedded struct value.
+	if _, ok := g.schemaType(q.Local); ok {
+		name := upperFirst(q.Local)
+		return name, name, refStructDeep, nil
+	}
+	return "", "", refNone, fmt.Errorf("unresolved type reference %s", q)
+}
+
+// resolveRefKind refines slice/struct ref kinds once all types are
+// known: a struct with no reference fields clones by value.
+func (g *generator) resolveRefKind(f *genField) {
+	switch f.refKind {
+	case refSliceSimple, refSliceDeep:
+		if idx, ok := g.lookupLocal(f.elemGoName); ok {
+			if g.typeNeedsDeepClone(idx, make(map[int]bool)) {
+				f.refKind = refSliceDeep
+			} else {
+				f.refKind = refSliceSimple
+			}
+		}
+	case refStructDeep:
+		if idx, ok := g.lookupLocal(f.elemGoName); ok {
+			if !g.typeNeedsDeepClone(idx, make(map[int]bool)) {
+				f.refKind = refNone
+			}
+		}
+	}
+}
+
+// typeNeedsDeepClone reports whether the generated struct holds
+// references (slices, byte arrays, pointers) anywhere.
+func (g *generator) typeNeedsDeepClone(idx int, seen map[int]bool) bool {
+	if seen[idx] {
+		return false
+	}
+	seen[idx] = true
+	for _, f := range g.types[idx].Fields {
+		switch f.refKind {
+		case refBytes, refSliceSimple, refSliceDeep, refPtrStruct:
+			return true
+		case refStructDeep:
+			if inner, ok := g.lookupLocal(f.elemGoName); ok && g.typeNeedsDeepClone(inner, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// upperFirst exports an identifier.
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	c := s[0]
+	if c >= 'a' && c <= 'z' {
+		return string(c-('a'-'A')) + s[1:]
+	}
+	return s
+}
+
+// lowerFirst mirrors the typemap wire-name rule.
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	c := s[0]
+	if c < 'A' || c > 'Z' {
+		return s
+	}
+	return string(c+('a'-'A')) + s[1:]
+}

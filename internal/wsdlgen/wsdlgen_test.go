@@ -1,0 +1,152 @@
+package wsdlgen
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/googleapi"
+	"repro/internal/wsdl"
+)
+
+func googleDefs(t *testing.T) *wsdl.Definitions {
+	t.Helper()
+	defs, err := wsdl.Parse([]byte(googleapi.WSDL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return defs
+}
+
+func generate(t *testing.T, opts Options) string {
+	t.Helper()
+	src, err := Generate(googleDefs(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+func TestGenerateParses(t *testing.T) {
+	src := generate(t, Options{Package: "testgen"})
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "gen.go", src, parser.AllErrors)
+	if err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+	if file.Name.Name != "testgen" {
+		t.Errorf("package = %s", file.Name.Name)
+	}
+
+	// Every schema complex type becomes a struct with a CloneDeep.
+	wantTypes := []string{"GoogleSearchResult", "ResultElement", "DirectoryCategory"}
+	found := map[string]bool{}
+	cloned := map[string]bool{}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok {
+					found[ts.Name.Name] = true
+				}
+			}
+		case *ast.FuncDecl:
+			if d.Name.Name == "CloneDeep" && d.Recv != nil {
+				if se, ok := d.Recv.List[0].Type.(*ast.StarExpr); ok {
+					if id, ok := se.X.(*ast.Ident); ok {
+						cloned[id.Name] = true
+					}
+				}
+			}
+		}
+	}
+	for _, name := range wantTypes {
+		if !found[name] {
+			t.Errorf("type %s not generated", name)
+		}
+		if !cloned[name] {
+			t.Errorf("CloneDeep for %s not generated", name)
+		}
+	}
+	if !found["GoogleSearchClient"] {
+		t.Error("typed client not generated")
+	}
+}
+
+func TestGenerateFieldDetails(t *testing.T) {
+	src := generate(t, Options{Package: "testgen"})
+	for _, want := range []string{
+		"ResultElements             []ResultElement",
+		"DirectoryCategories        []DirectoryCategory",
+		"SearchTime                 float64",
+		"URL                       string `xml:\"URL\"`",
+		"func RegisterTypes(reg *typemap.Registry) error",
+		`const TargetNamespace = "urn:GoogleSearch"`,
+		"func (c *GoogleSearchClient) DoGoogleSearch(ctx context.Context, key string, q string, start int",
+		") (*GoogleSearchResult, error)",
+		"func (c *GoogleSearchClient) DoGetCachedPage(ctx context.Context, key string, url string) ([]byte, error)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestGenerateTypesOnly(t *testing.T) {
+	src := generate(t, Options{Package: "testgen", SkipClient: true})
+	if strings.Contains(src, "GoogleSearchClient") {
+		t.Error("types-only output contains the client")
+	}
+	if strings.Contains(src, `"context"`) {
+		t.Error("types-only output imports context")
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, parser.AllErrors); err != nil {
+		t.Fatalf("types-only source does not parse: %v", err)
+	}
+}
+
+func TestGenerateRequiresPackage(t *testing.T) {
+	if _, err := Generate(googleDefs(t), Options{}); err == nil {
+		t.Error("missing package name accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := generate(t, Options{Package: "p"})
+	b := generate(t, Options{Package: "p"})
+	if a != b {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestGeneratedMatchesCheckedIn(t *testing.T) {
+	// internal/googlegen/googlegen.go is generated output checked into
+	// the tree; regeneration must reproduce it byte for byte, proving
+	// the committed artifact is in sync with the generator.
+	src := generate(t, Options{Package: "googlegen"})
+	checked, err := readCheckedIn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != checked {
+		t.Error("internal/googlegen/googlegen.go is stale; regenerate with: go run ./cmd/wsdlgen -pkg googlegen -o internal/googlegen/googlegen.go")
+	}
+}
+
+func TestUpperLowerFirst(t *testing.T) {
+	if upperFirst("resultElements") != "ResultElements" || upperFirst("URL") != "URL" || upperFirst("") != "" {
+		t.Error("upperFirst broken")
+	}
+	if lowerFirst("ResultElements") != "resultElements" || lowerFirst("") != "" {
+		t.Error("lowerFirst broken")
+	}
+}
+
+func TestSafeIdent(t *testing.T) {
+	if safeIdent("type") != "type_" || safeIdent("query") != "query" {
+		t.Error("safeIdent broken")
+	}
+}

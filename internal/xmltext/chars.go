@@ -1,0 +1,166 @@
+package xmltext
+
+import "fmt"
+
+// fmtSprintf exists so that scanner.go's sprintf helper has a single
+// fmt dependency point.
+func fmtSprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// isSpaceByte reports whether b is XML whitespace (S production).
+func isSpaceByte(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\r' || b == '\n'
+}
+
+// isAllSpace reports whether s consists only of XML whitespace.
+func isAllSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isSpaceByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// isNameStartRune reports whether r may begin an XML name. This follows
+// the XML 1.0 (5th edition) NameStartChar production, with ':' allowed
+// because the scanner works on raw (prefix-qualified) names.
+func isNameStartRune(r rune) bool {
+	switch {
+	case r == ':' || r == '_':
+		return true
+	case 'A' <= r && r <= 'Z', 'a' <= r && r <= 'z':
+		return true
+	case r >= 0xC0 && r <= 0xD6, r >= 0xD8 && r <= 0xF6, r >= 0xF8 && r <= 0x2FF:
+		return true
+	case r >= 0x370 && r <= 0x37D, r >= 0x37F && r <= 0x1FFF:
+		return true
+	case r >= 0x200C && r <= 0x200D, r >= 0x2070 && r <= 0x218F:
+		return true
+	case r >= 0x2C00 && r <= 0x2FEF, r >= 0x3001 && r <= 0xD7FF:
+		return true
+	case r >= 0xF900 && r <= 0xFDCF, r >= 0xFDF0 && r <= 0xFFFD:
+		return true
+	case r >= 0x10000 && r <= 0xEFFFF:
+		return true
+	}
+	return false
+}
+
+// isNameRune reports whether r may appear after the first character of
+// an XML name (NameChar production).
+func isNameRune(r rune) bool {
+	if isNameStartRune(r) {
+		return true
+	}
+	switch {
+	case r == '-' || r == '.':
+		return true
+	case '0' <= r && r <= '9':
+		return true
+	case r == 0xB7:
+		return true
+	case r >= 0x300 && r <= 0x36F, r >= 0x203F && r <= 0x2040:
+		return true
+	}
+	return false
+}
+
+// IsName reports whether s is a syntactically valid XML name.
+func IsName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 {
+			if !isNameStartRune(r) {
+				return false
+			}
+			continue
+		}
+		if !isNameRune(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// isLegalCharRef reports whether r is a character permitted in an XML
+// document (Char production).
+func isLegalCharRef(r rune) bool {
+	switch {
+	case r == 0x9 || r == 0xA || r == 0xD:
+		return true
+	case r >= 0x20 && r <= 0xD7FF:
+		return true
+	case r >= 0xE000 && r <= 0xFFFD:
+		return true
+	case r >= 0x10000 && r <= 0x10FFFF:
+		return true
+	}
+	return false
+}
+
+// IsLegalText reports whether every rune in s is a legal XML character.
+// Serializers use this to reject unencodable strings early.
+func IsLegalText(s string) bool {
+	for _, r := range s {
+		if !isLegalCharRef(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasPrefix is strings.HasPrefix over a byte slice without conversion.
+func hasPrefix(b []byte, prefix string) bool {
+	if len(b) < len(prefix) {
+		return false
+	}
+	for i := 0; i < len(prefix); i++ {
+		if b[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexByteFrom returns the index of c in b at or after start, or -1.
+func indexByteFrom(b []byte, c byte, start int) int {
+	for i := start; i < len(b); i++ {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// indexFrom returns the index of sub in b at or after start, or -1.
+// The needles used by the scanner are 2-3 bytes, so a simple scan beats
+// converting the haystack to a string.
+func indexFrom(b []byte, sub string, start int) int {
+	if start < 0 {
+		start = 0
+	}
+	if sub == "" {
+		return start
+	}
+	last := len(b) - len(sub)
+	for i := start; i <= last; i++ {
+		if b[i] != sub[0] {
+			continue
+		}
+		match := true
+		for j := 1; j < len(sub); j++ {
+			if b[i+j] != sub[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,89 @@
+// Package xmltext implements a from-scratch XML 1.0 tokenizer and the
+// low-level text utilities (escaping, name validation, entity
+// resolution) used by the SAX and DOM layers.
+//
+// The tokenizer is deliberately independent of encoding/xml: the paper's
+// cached-data representations require full control over the event stream
+// (recording, replaying, and measuring the cost of parsing), so the
+// entire XML path in this repository is self-contained.
+//
+// Supported XML subset: prolog (XML declaration), comments, processing
+// instructions, DOCTYPE (skipped, internal subsets without markup
+// declarations), elements with attributes, character data, CDATA
+// sections, the five predefined entities and numeric character
+// references. DTD-defined entities are not supported, matching the
+// behaviour of a non-validating SOAP processor.
+package xmltext
+
+import "fmt"
+
+// Kind identifies the type of a token produced by the Scanner.
+type Kind int
+
+// Token kinds. The zero value is invalid so that an uninitialized Token
+// is never mistaken for real markup.
+const (
+	KindStartElement Kind = iota + 1
+	KindEndElement
+	KindCharData
+	KindComment
+	KindProcInst
+	KindDirective
+)
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	switch k {
+	case KindStartElement:
+		return "StartElement"
+	case KindEndElement:
+		return "EndElement"
+	case KindCharData:
+		return "CharData"
+	case KindComment:
+		return "Comment"
+	case KindProcInst:
+		return "ProcInst"
+	case KindDirective:
+		return "Directive"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attr is a single attribute on a start-element tag. The value has all
+// entity and character references resolved.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is one unit of XML markup or character data.
+//
+// For KindStartElement, Name and Attrs are set and SelfClosing reports
+// whether the tag was of the form <name/>. For KindEndElement only Name
+// is set. For KindCharData, Text holds the resolved character data (CDATA
+// sections are reported as CharData). For KindComment, Text holds the
+// comment body. For KindProcInst, Name holds the target and Text the
+// instruction. For KindDirective, Text holds the directive body
+// (e.g. a DOCTYPE declaration, excluding the <! and >).
+type Token struct {
+	Kind        Kind
+	Name        string
+	Text        string
+	Attrs       []Attr
+	SelfClosing bool
+}
+
+// SyntaxError describes a well-formedness violation found while
+// scanning, with the byte offset and 1-based line where it occurred.
+type SyntaxError struct {
+	Msg    string
+	Offset int
+	Line   int
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xml syntax error at line %d (offset %d): %s", e.Line, e.Offset, e.Msg)
+}
