@@ -3,9 +3,16 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench tables figures fuzz generate clean
+.PHONY: all check build vet test race cover bench tables figures fuzz generate clean
 
 all: build vet test
+
+# The CI gate: everything must build, vet clean, and pass under the
+# race detector (the resilience paths are concurrency-heavy).
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

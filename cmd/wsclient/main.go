@@ -39,6 +39,8 @@ func main() {
 	useCache := flag.Bool("cache", false, "enable the client response cache")
 	repeat := flag.Int("repeat", 1, "invoke the operation this many times")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-call timeout")
+	retries := flag.Int("retries", 1, "total attempts per call (>1 retries transient transport failures)")
+	maxResp := flag.Int64("max-response", 0, "response size cap in bytes (0 = default, -1 = unlimited)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -46,13 +48,39 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*wsdlSrc, *endpoint, flag.Arg(0), flag.Args()[1:], *useCache, *repeat, *timeout); err != nil {
+	cfg := runConfig{
+		wsdlSrc:   *wsdlSrc,
+		endpoint:  *endpoint,
+		operation: flag.Arg(0),
+		args:      flag.Args()[1:],
+		useCache:  *useCache,
+		repeat:    *repeat,
+		timeout:   *timeout,
+		retries:   *retries,
+		maxResp:   *maxResp,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "wsclient:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wsdlSrc, endpoint, operation string, args []string, useCache bool, repeat int, timeout time.Duration) error {
+// runConfig carries the parsed command line.
+type runConfig struct {
+	wsdlSrc   string
+	endpoint  string
+	operation string
+	args      []string
+	useCache  bool
+	repeat    int
+	timeout   time.Duration
+	retries   int
+	maxResp   int64
+}
+
+func run(cfg runConfig) error {
+	wsdlSrc, endpoint, operation, args := cfg.wsdlSrc, cfg.endpoint, cfg.operation, cfg.args
+	useCache, repeat, timeout := cfg.useCache, cfg.repeat, cfg.timeout
 	doc := []byte(googleapi.WSDL)
 	if wsdlSrc != "google" {
 		var err error
@@ -85,9 +113,13 @@ func run(wsdlSrc, endpoint, operation string, args []string, useCache bool, repe
 		handlers = append(handlers, cache)
 	}
 
-	svc, err := client.NewService(defs, codec, &transport.HTTP{}, client.ServiceConfig{
+	opts := client.Options{RecordEvents: true, Handlers: handlers}
+	if cfg.retries > 1 {
+		opts.Retry = &transport.RetryPolicy{MaxAttempts: cfg.retries}
+	}
+	svc, err := client.NewService(defs, codec, &transport.HTTP{MaxResponseBytes: cfg.maxResp}, client.ServiceConfig{
 		Endpoint: endpoint,
-		Options:  client.Options{RecordEvents: true, Handlers: handlers},
+		Options:  opts,
 	})
 	if err != nil {
 		return err

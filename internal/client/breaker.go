@@ -1,0 +1,284 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/soap"
+)
+
+// ErrBreakerOpen is the sentinel wrapped by every invocation rejected
+// by an open circuit breaker.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// BreakerOpenError reports an invocation rejected without reaching the
+// backend because the endpoint's breaker is open.
+type BreakerOpenError struct {
+	// Endpoint is the backend the breaker protects.
+	Endpoint string
+	// RetryAfter is when the breaker will next admit a probe.
+	RetryAfter time.Time
+}
+
+// Error implements the error interface.
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("client: circuit breaker open for %s", e.Endpoint)
+}
+
+// Unwrap ties the error to ErrBreakerOpen.
+func (e *BreakerOpenError) Unwrap() error { return ErrBreakerOpen }
+
+// Transient marks breaker rejections retryable-later for the transport
+// classifier; within one invocation they are terminal (the breaker
+// sits above the retrying transport).
+func (e *BreakerOpenError) Transient() bool { return true }
+
+// BreakerState is a circuit breaker's current disposition.
+type BreakerState int
+
+const (
+	// BreakerClosed admits every invocation (normal operation).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every invocation without touching the
+	// backend.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded number of probe invocations to
+	// test whether the backend recovered.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// BreakerConfig tunes a Breaker. The zero value is usable: a 10-call
+// sliding window, open at ≥50% failures over ≥5 samples, 5s open
+// interval, 1 half-open probe.
+type BreakerConfig struct {
+	// Window is the sliding outcome window size per endpoint; values
+	// < 1 mean 10.
+	Window int
+	// FailureThreshold in (0,1] opens the breaker when the window's
+	// failure fraction reaches it; zero means 0.5.
+	FailureThreshold float64
+	// MinSamples is the minimum number of recorded outcomes before the
+	// threshold applies (a single early failure must not trip a cold
+	// breaker); values < 1 mean 5.
+	MinSamples int
+	// OpenFor is how long an open breaker rejects before moving to
+	// half-open; zero means 5s.
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent trial invocations while
+	// half-open; values < 1 mean 1.
+	HalfOpenProbes int
+	// IsFailure classifies an invocation error as a backend failure.
+	// nil means: any non-nil error except a *soap.Fault — a fault is an
+	// application-level answer from a live backend, not an outage.
+	IsFailure func(error) bool
+	// Clock overrides time.Now, for tests.
+	Clock func() time.Time
+}
+
+// Breaker is a per-endpoint circuit breaker installed in the client
+// handler chain. Install it innermost — between any caching handler
+// and the pivot — so cache hits keep being served while the breaker is
+// open, and breaker-open misses can degrade to stale serving
+// (core.Config.StaleIfError).
+//
+// Per endpoint it keeps a sliding window of invocation outcomes; when
+// the failure fraction reaches the threshold the breaker opens and
+// rejects invocations immediately with a *BreakerOpenError. After
+// OpenFor it admits a bounded number of half-open probes: one success
+// closes the breaker, one failure re-opens it.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointBreaker
+}
+
+var _ Handler = (*Breaker)(nil)
+
+// endpointBreaker is the per-endpoint state.
+type endpointBreaker struct {
+	state    BreakerState
+	window   []bool // ring buffer of outcomes; true = failure
+	pos      int
+	filled   int
+	failures int
+	openedAt time.Time
+	probes   int // in-flight half-open probes
+}
+
+// NewBreaker builds a Breaker from cfg.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Window < 1 {
+		cfg.Window = 10
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 0.5
+	}
+	if cfg.MinSamples < 1 {
+		cfg.MinSamples = 5
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 5 * time.Second
+	}
+	if cfg.HalfOpenProbes < 1 {
+		cfg.HalfOpenProbes = 1
+	}
+	if cfg.IsFailure == nil {
+		cfg.IsFailure = defaultIsFailure
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Breaker{cfg: cfg, endpoints: make(map[string]*endpointBreaker)}
+}
+
+// defaultIsFailure counts every error except SOAP faults: a fault
+// means the backend is up and answering.
+func defaultIsFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var f *soap.Fault
+	return !errors.As(err, &f)
+}
+
+// HandleInvoke implements Handler.
+func (b *Breaker) HandleInvoke(ictx *Context, next Invoker) error {
+	if err := b.admit(ictx.Endpoint); err != nil {
+		return err
+	}
+	err := next(ictx)
+	b.record(ictx.Endpoint, b.cfg.IsFailure(err))
+	return err
+}
+
+// State reports the breaker state for an endpoint (Closed when the
+// endpoint has never been seen). Open breakers past their OpenFor
+// interval report half-open, matching what the next invocation will
+// experience.
+func (b *Breaker) State(endpoint string) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep, ok := b.endpoints[endpoint]
+	if !ok {
+		return BreakerClosed
+	}
+	if ep.state == BreakerOpen && !b.cfg.Clock().Before(ep.openedAt.Add(b.cfg.OpenFor)) {
+		return BreakerHalfOpen
+	}
+	return ep.state
+}
+
+// admit decides whether an invocation may proceed.
+func (b *Breaker) admit(endpoint string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep := b.endpoint(endpoint)
+	now := b.cfg.Clock()
+	switch ep.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		retryAt := ep.openedAt.Add(b.cfg.OpenFor)
+		if now.Before(retryAt) {
+			return &BreakerOpenError{Endpoint: endpoint, RetryAfter: retryAt}
+		}
+		// Open interval elapsed: start probing.
+		ep.state = BreakerHalfOpen
+		ep.probes = 0
+		fallthrough
+	case BreakerHalfOpen:
+		if ep.probes >= b.cfg.HalfOpenProbes {
+			return &BreakerOpenError{Endpoint: endpoint, RetryAfter: ep.openedAt.Add(b.cfg.OpenFor)}
+		}
+		ep.probes++
+		return nil
+	}
+	return nil
+}
+
+// record folds an invocation outcome into the endpoint's state.
+func (b *Breaker) record(endpoint string, failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep := b.endpoint(endpoint)
+	switch ep.state {
+	case BreakerHalfOpen:
+		if ep.probes > 0 {
+			ep.probes--
+		}
+		if failed {
+			b.trip(ep)
+		} else {
+			// One healthy probe closes the breaker with a clean window.
+			ep.state = BreakerClosed
+			b.resetWindow(ep)
+		}
+	case BreakerClosed:
+		b.push(ep, failed)
+		if ep.filled >= b.cfg.MinSamples &&
+			float64(ep.failures)/float64(ep.filled) >= b.cfg.FailureThreshold {
+			b.trip(ep)
+		}
+	case BreakerOpen:
+		// A straggler from before the trip; the window restarts on the
+		// next half-open transition, so drop it.
+	}
+}
+
+// endpoint returns (creating if needed) the per-endpoint state;
+// callers hold b.mu.
+func (b *Breaker) endpoint(endpoint string) *endpointBreaker {
+	ep, ok := b.endpoints[endpoint]
+	if !ok {
+		ep = &endpointBreaker{window: make([]bool, b.cfg.Window)}
+		b.endpoints[endpoint] = ep
+	}
+	return ep
+}
+
+// push records one outcome in the sliding window; callers hold b.mu.
+func (b *Breaker) push(ep *endpointBreaker, failed bool) {
+	if ep.filled == len(ep.window) {
+		if ep.window[ep.pos] {
+			ep.failures--
+		}
+	} else {
+		ep.filled++
+	}
+	ep.window[ep.pos] = failed
+	if failed {
+		ep.failures++
+	}
+	ep.pos = (ep.pos + 1) % len(ep.window)
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *Breaker) trip(ep *endpointBreaker) {
+	ep.state = BreakerOpen
+	ep.openedAt = b.cfg.Clock()
+	b.resetWindow(ep)
+}
+
+// resetWindow clears the outcome window; callers hold b.mu.
+func (b *Breaker) resetWindow(ep *endpointBreaker) {
+	for i := range ep.window {
+		ep.window[i] = false
+	}
+	ep.pos, ep.filled, ep.failures = 0, 0, 0
+}

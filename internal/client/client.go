@@ -64,6 +64,11 @@ type Context struct {
 
 	// CacheHit reports that a cache handler satisfied the invocation.
 	CacheHit bool
+
+	// ServedStale reports that the result is a TTL-expired cache entry
+	// served in degraded mode because the backend invocation failed
+	// (core.Config.StaleIfError). Always accompanied by CacheHit.
+	ServedStale bool
 }
 
 // Handler processes an invocation. Implementations call next to
@@ -96,6 +101,18 @@ type Options struct {
 	// Handlers is the chain installed in front of the pivot, outermost
 	// first.
 	Handlers []Handler
+
+	// Retry, when non-nil, wraps the Call's transport in a retrying
+	// transport (per-attempt timeouts, exponential backoff with full
+	// jitter, transient-vs-permanent classification).
+	Retry *transport.RetryPolicy
+
+	// Breaker, when non-nil, installs a circuit breaker as the
+	// innermost handler — between Handlers and the pivot — so cache
+	// hits are still served while the breaker is open, and a caching
+	// handler sees the breaker's rejection as an ordinary backend error
+	// it can degrade from (stale-on-error).
+	Breaker *Breaker
 }
 
 // Call invokes one operation of a remote service.
@@ -112,6 +129,9 @@ type Call struct {
 // NewCall builds a Call. codec must have all complex types of the
 // operation registered.
 func NewCall(codec *soap.Codec, tr transport.Transport, endpoint, namespace, operation, soapAction string, opts Options) *Call {
+	if opts.Retry != nil {
+		tr = transport.NewRetry(tr, *opts.Retry)
+	}
 	return &Call{
 		codec:      codec,
 		tr:         tr,
@@ -170,6 +190,13 @@ func (c *Call) InvokeContext(ctx context.Context, params ...soap.Param) (*Contex
 // run drives the handler chain and terminal pivot.
 func (c *Call) run(ictx *Context) error {
 	chain := c.pivot
+	if b := c.opts.Breaker; b != nil {
+		// Innermost handler: only invocations that miss every cache
+		// reach (and are gated by) the breaker.
+		chain = func(ic *Context) error {
+			return b.HandleInvoke(ic, c.pivot)
+		}
+	}
 	for i := len(c.opts.Handlers) - 1; i >= 0; i-- {
 		h := c.opts.Handlers[i]
 		next := chain

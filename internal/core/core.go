@@ -62,6 +62,18 @@ type Config struct {
 	// Cache-Control max-age / Expires headers when present, overriding
 	// DefaultTTL and the operation policy.
 	HonorServerTTL bool
+	// StaleIfError enables degraded serving: when a miss's backend
+	// invocation fails with a transport-level error (anything but a
+	// SOAP fault), a TTL-expired entry still within this grace window
+	// past its expiry is served instead of the error, flagged via
+	// client.Context.ServedStale. Expired entries are retained (from
+	// lookup and the sweeper) until the window passes. Zero disables.
+	StaleIfError time.Duration
+	// Coalesce collapses concurrent misses on one key into a single
+	// backend invocation (singleflight): followers wait for the
+	// leader's fill and are served from the cache, so a thundering herd
+	// of identical requests costs one backend call.
+	Coalesce bool
 	// Clock overrides time.Now, for tests.
 	Clock func() time.Time
 }
@@ -75,6 +87,8 @@ type Stats struct {
 	Expirations   int64
 	Evictions     int64
 	Revalidations int64 // stale entries refreshed by a 304 answer
+	StaleServes   int64 // expired entries served because the backend failed
+	Coalesced     int64 // misses satisfied by another in-flight invocation
 	Errors        int64 // store/load failures that fell back to the pivot
 	Bypass        int64 // invocations of uncacheable operations
 	Bytes         int   // current estimated payload bytes
@@ -141,7 +155,14 @@ type Cache struct {
 	maxBytes       int
 	revalidate     bool
 	honorServerTTL bool
+	staleIfError   time.Duration
+	coalesce       bool
 	now            func() time.Time
+
+	// flights tracks in-flight miss invocations for coalescing; it has
+	// its own lock so followers can wait without holding c.mu.
+	flightMu sync.Mutex
+	flights  map[string]*flight
 
 	mu    sync.Mutex
 	table map[string]*entry
@@ -176,7 +197,10 @@ func New(cfg Config) (*Cache, error) {
 		maxBytes:       cfg.MaxBytes,
 		revalidate:     cfg.Revalidate,
 		honorServerTTL: cfg.HonorServerTTL,
+		staleIfError:   cfg.StaleIfError,
+		coalesce:       cfg.Coalesce,
 		now:            now,
+		flights:        make(map[string]*flight),
 		table:          make(map[string]*entry),
 		opStats:        make(map[string]*OperationStats),
 	}, nil
@@ -274,6 +298,16 @@ func (c *Cache) HandleInvoke(ictx *client.Context, next client.Invoker) error {
 	}
 	c.countOp(ictx.Operation, func(s *OperationStats) { s.Misses++ })
 
+	if c.coalesce {
+		return c.invokeCoalesced(key, op, ictx, next)
+	}
+	return c.invokeMiss(key, op, ictx, next)
+}
+
+// invokeMiss drives a miss through the pivot: conditional-request
+// setup, the invocation itself, stale-on-error degradation, 304
+// refresh, and the fill.
+func (c *Cache) invokeMiss(key string, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
 	// A stale entry with a validator turns this miss into a conditional
 	// request (If-Modified-Since): the server may answer 304 instead of
 	// recomputing and shipping the response.
@@ -287,6 +321,12 @@ func (c *Cache) HandleInvoke(ictx *client.Context, next client.Invoker) error {
 	}
 
 	if err := next(ictx); err != nil {
+		if result, ok := c.staleOnError(key, err); ok {
+			ictx.Result = result
+			ictx.CacheHit = true
+			ictx.ServedStale = true
+			return nil
+		}
 		return err
 	}
 
@@ -375,10 +415,12 @@ func (c *Cache) lookup(key string) (any, bool) {
 		c.mu.Unlock()
 		return nil, false
 	}
-	if e.expired(c.now()) {
-		// With revalidation on, a validator-bearing entry is retained
-		// stale; it will be refreshed if the server answers 304.
-		if !(c.revalidate && !e.lastModified.IsZero()) {
+	if now := c.now(); e.expired(now) {
+		// An expired entry may still be useful: with revalidation on, a
+		// validator-bearing entry can be refreshed by a 304; with
+		// StaleIfError set, it can be served in degraded mode until the
+		// grace window passes. Only a useless entry is dropped.
+		if !c.retainStaleLocked(e, now) {
 			c.removeLocked(e)
 		}
 		c.stats.Expirations++

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/soap"
+)
+
+// This file holds the cache's fault-tolerance mechanics: stale-on-error
+// degraded serving (Config.StaleIfError) and singleflight miss
+// coalescing (Config.Coalesce). Both extend the paper's cache beyond
+// its always-healthy-backend assumption; see DESIGN.md §5a.
+
+// flight is one in-flight miss invocation other invocations of the
+// same key can wait on.
+type flight struct {
+	done chan struct{} // closed when the leader finishes
+	err  error         // the leader's outcome; written before done closes
+}
+
+// invokeCoalesced collapses concurrent misses on key into one backend
+// invocation. The first miss becomes the flight leader and runs the
+// normal miss path; later misses wait for it and serve themselves from
+// the cache the leader filled. A follower whose wait yields nothing
+// usable (the leader's response was uncacheable, or its entry was
+// already evicted) falls back to its own invocation rather than fail.
+func (c *Cache) invokeCoalesced(key string, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
+	c.flightMu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.flightMu.Unlock()
+		return c.followFlight(f, key, op, ictx, next)
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.flightMu.Unlock()
+
+	err := c.invokeMiss(key, op, ictx, next)
+
+	c.flightMu.Lock()
+	delete(c.flights, key)
+	c.flightMu.Unlock()
+	f.err = err
+	close(f.done)
+	return err
+}
+
+// followFlight waits for the flight leader and serves the follower's
+// invocation from the leader's outcome.
+func (c *Cache) followFlight(f *flight, key string, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
+	if ictx.Ctx != nil {
+		select {
+		case <-f.done:
+		case <-ictx.Ctx.Done():
+			return ictx.Ctx.Err()
+		}
+	} else {
+		<-f.done
+	}
+	c.count(func(s *Stats) { s.Coalesced++ })
+
+	if f.err != nil {
+		// The leader failed. The follower is as entitled to degraded
+		// serving as the leader was; otherwise it shares the error.
+		if result, ok := c.staleOnError(key, f.err); ok {
+			ictx.Result = result
+			ictx.CacheHit = true
+			ictx.ServedStale = true
+			return nil
+		}
+		return f.err
+	}
+	if result, ok := c.lookup(key); ok {
+		ictx.Result = result
+		ictx.CacheHit = true
+		c.countOp(ictx.Operation, func(s *OperationStats) { s.Hits++ })
+		return nil
+	}
+	// The leader succeeded but left nothing loadable (uncacheable
+	// response, store error, or eviction under pressure). Do the work
+	// ourselves; correctness outranks coalescing.
+	return c.invokeMiss(key, op, ictx, next)
+}
+
+// staleOnError serves a TTL-expired entry within the StaleIfError grace
+// window after a backend failure. SOAP faults are excluded: a fault is
+// an application-level answer from a live backend, and masking it with
+// stale data would change program behaviour, not availability.
+func (c *Cache) staleOnError(key string, err error) (any, bool) {
+	if c.staleIfError <= 0 {
+		return nil, false
+	}
+	var f *soap.Fault
+	if errors.As(err, &f) {
+		return nil, false
+	}
+
+	c.mu.Lock()
+	e, ok := c.table[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	now := c.now()
+	// Serve a fresh entry too (it can appear between the miss and this
+	// recovery when another invocation refills the key); otherwise the
+	// entry must be within its grace window.
+	if e.expired(now) && !c.withinStaleWindow(e, now) {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.moveToFrontLocked(e)
+	payload, store := e.payload, e.store
+	c.stats.StaleServes++
+	c.mu.Unlock()
+
+	result, loadErr := store.Load(payload)
+	if loadErr != nil {
+		c.count(func(s *Stats) { s.Errors++ })
+		return nil, false
+	}
+	return result, true
+}
+
+// withinStaleWindow reports whether an expired entry is still eligible
+// for stale-on-error serving at now.
+func (c *Cache) withinStaleWindow(e *entry, now time.Time) bool {
+	return c.staleIfError > 0 && !now.After(e.expires.Add(c.staleIfError))
+}
+
+// retainStaleLocked reports whether an expired entry must be kept for a
+// later degraded use: 304 revalidation (validator present) or
+// stale-on-error serving (grace window not yet passed). Callers hold
+// c.mu.
+func (c *Cache) retainStaleLocked(e *entry, now time.Time) bool {
+	if c.revalidate && !e.lastModified.IsZero() {
+		return true
+	}
+	return c.withinStaleWindow(e, now)
+}

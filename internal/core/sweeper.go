@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"sync"
 	"time"
 )
 
@@ -11,18 +13,29 @@ import (
 // them), which is the paper's implicit behaviour; the sweeper is an
 // operational extension for long-lived portal deployments.
 //
-// The goroutine's lifetime is owned by the Sweeper: Shutdown signals it
-// to stop and waits for it to exit.
+// The goroutine's lifetime is owned by the Sweeper: Shutdown (or
+// cancellation of the context given to NewSweeperContext) signals it to
+// stop; Shutdown waits for it to exit.
 type Sweeper struct {
 	cache    *Cache
 	interval time.Duration
 
-	stop chan struct{}
-	done chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 }
 
 // NewSweeper starts a sweeper over cache. interval must be positive.
 func NewSweeper(cache *Cache, interval time.Duration) *Sweeper {
+	return NewSweeperContext(context.Background(), cache, interval)
+}
+
+// NewSweeperContext starts a sweeper whose goroutine also exits when
+// ctx is cancelled, for deployments that tie background work to a
+// server's lifecycle context. Shutdown remains available and is
+// idempotent; after cancellation it returns as soon as the goroutine
+// has exited.
+func NewSweeperContext(ctx context.Context, cache *Cache, interval time.Duration) *Sweeper {
 	if interval <= 0 {
 		interval = time.Minute
 	}
@@ -32,12 +45,12 @@ func NewSweeper(cache *Cache, interval time.Duration) *Sweeper {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	go s.run()
+	go s.run(ctx)
 	return s
 }
 
 // run is the sweep loop.
-func (s *Sweeper) run() {
+func (s *Sweeper) run(ctx context.Context) {
 	defer close(s.done)
 	ticker := time.NewTicker(s.interval)
 	defer ticker.Stop()
@@ -45,6 +58,8 @@ func (s *Sweeper) run() {
 		select {
 		case <-ticker.C:
 			s.cache.SweepExpired()
+		case <-ctx.Done():
+			return
 		case <-s.stop:
 			return
 		}
@@ -52,16 +67,20 @@ func (s *Sweeper) run() {
 }
 
 // Shutdown stops the sweeper and waits for its goroutine to exit. It is
-// idempotent only for the first call; call it exactly once.
+// idempotent and safe to call after (or concurrently with) context
+// cancellation.
 func (s *Sweeper) Shutdown() {
-	close(s.stop)
+	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
 }
 
-// SweepExpired removes every expired entry now and returns how many
-// were removed. Entries kept stale for revalidation are also removed —
-// a sweep is a reclamation decision that outranks the revalidation
-// optimization.
+// SweepExpired removes every reclaimable expired entry now and returns
+// how many were removed. Entries kept stale for revalidation are
+// removed — a sweep is a reclamation decision that outranks the
+// revalidation optimization — but entries still inside the
+// StaleIfError grace window are retained: they are the cache's only
+// answer if the backend fails, and the window bounds how long they
+// linger.
 func (c *Cache) SweepExpired() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -71,7 +90,7 @@ func (c *Cache) SweepExpired() int {
 	// deterministic order.
 	for e := c.head; e != nil; {
 		next := e.next
-		if e.expired(now) {
+		if e.expired(now) && !c.withinStaleWindow(e, now) {
 			c.removeLocked(e)
 			c.stats.Expirations++
 			removed++

@@ -2,10 +2,14 @@
 // (paper Section 5.2, "Web Performance Tool"): a closed-loop generator
 // with a configurable number of concurrent virtual users and an
 // artificially controlled cache-hit ratio, swept 0–100% in the paper's
-// Figures 3 and 4.
+// Figures 3 and 4. For resilience scenarios it also supports
+// context-cancelled shutdown mid-run and per-class failure accounting
+// (errors bucketed by a caller-supplied classifier, e.g. breaker
+// rejections vs timeouts vs degraded stale serves).
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -37,30 +41,52 @@ type Config struct {
 	// Do performs one request. It receives the query chosen by the
 	// schedule.
 	Do func(query string) error
+
+	// Classify buckets a request error into a named class for
+	// Result.Classes — failure-scenario runs separate breaker
+	// rejections from timeouts from injected faults. nil buckets every
+	// error as "error".
+	Classify func(error) string
 }
 
 // Result aggregates a run.
 type Result struct {
 	Requests   int
 	Errors     int
+	Skipped    int // scheduled requests never issued (cancelled run)
 	Elapsed    time.Duration
 	Throughput float64 // requests per second
 	AvgLatency time.Duration
 	P50        time.Duration
 	P90        time.Duration
 	P99        time.Duration
+	// Classes counts errors per Config.Classify bucket.
+	Classes map[string]int
 }
 
 // String formats the result as a report row.
 func (r Result) String() string {
-	return fmt.Sprintf("%d req in %v: %.1f req/s, avg %v, p50 %v, p90 %v, p99 %v, %d errors",
+	s := fmt.Sprintf("%d req in %v: %.1f req/s, avg %v, p50 %v, p90 %v, p99 %v, %d errors",
 		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput,
 		r.AvgLatency.Round(time.Microsecond), r.P50.Round(time.Microsecond),
 		r.P90.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Errors)
+	if r.Skipped > 0 {
+		s += fmt.Sprintf(", %d skipped", r.Skipped)
+	}
+	return s
 }
 
 // Run executes the configured load and returns aggregate metrics.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the configured load, stopping early when ctx is
+// cancelled: no further requests are issued, in-flight requests finish,
+// and the partial result is returned alongside ctx's error. Requests
+// the schedule never issued are reported in Result.Skipped and excluded
+// from the latency aggregates.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Concurrency <= 0 {
 		return Result{}, fmt.Errorf("loadgen: Concurrency must be positive")
 	}
@@ -84,6 +110,7 @@ func Run(cfg Config) (Result, error) {
 
 	latencies := make([]time.Duration, cfg.Requests)
 	errs := make([]error, cfg.Requests)
+	issued := make([]bool, cfg.Requests)
 	var wg sync.WaitGroup
 	work := make(chan int)
 
@@ -96,17 +123,23 @@ func Run(cfg Config) (Result, error) {
 				t0 := time.Now()
 				errs[i] = cfg.Do(queries[i])
 				latencies[i] = time.Since(t0)
+				issued[i] = true
 			}
 		}()
 	}
+feed:
 	for i := 0; i < cfg.Requests; i++ {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	return aggregate(latencies, errs, elapsed), nil
+	return aggregate(latencies, errs, issued, elapsed, cfg.Classify), ctx.Err()
 }
 
 // Schedule builds the deterministic query sequence: hits evenly
@@ -129,33 +162,44 @@ func Schedule(requests int, hitRatio float64, hot []string, miss func(int) strin
 	return queries
 }
 
-// aggregate folds per-request samples into a Result.
-func aggregate(latencies []time.Duration, errs []error, elapsed time.Duration) Result {
-	res := Result{
-		Requests: len(latencies),
-		Elapsed:  elapsed,
-	}
-	if elapsed > 0 {
-		res.Throughput = float64(len(latencies)) / elapsed.Seconds()
-	}
-	var total time.Duration
-	for _, l := range latencies {
-		total += l
-	}
-	if len(latencies) > 0 {
-		res.AvgLatency = total / time.Duration(len(latencies))
-	}
-	for _, e := range errs {
-		if e != nil {
+// aggregate folds per-request samples into a Result, counting only
+// requests the run actually issued.
+func aggregate(latencies []time.Duration, errs []error, issued []bool, elapsed time.Duration, classify func(error) string) Result {
+	res := Result{Elapsed: elapsed}
+	var completed []time.Duration
+	for i, ok := range issued {
+		if !ok {
+			res.Skipped++
+			continue
+		}
+		res.Requests++
+		completed = append(completed, latencies[i])
+		if errs[i] != nil {
 			res.Errors++
+			class := "error"
+			if classify != nil {
+				class = classify(errs[i])
+			}
+			if res.Classes == nil {
+				res.Classes = make(map[string]int)
+			}
+			res.Classes[class]++
 		}
 	}
-	sorted := make([]time.Duration, len(latencies))
-	copy(sorted, latencies)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	res.P50 = percentile(sorted, 0.50)
-	res.P90 = percentile(sorted, 0.90)
-	res.P99 = percentile(sorted, 0.99)
+	if elapsed > 0 {
+		res.Throughput = float64(res.Requests) / elapsed.Seconds()
+	}
+	var total time.Duration
+	for _, l := range completed {
+		total += l
+	}
+	if len(completed) > 0 {
+		res.AvgLatency = total / time.Duration(len(completed))
+	}
+	sort.Slice(completed, func(i, j int) bool { return completed[i] < completed[j] })
+	res.P50 = percentile(completed, 0.50)
+	res.P90 = percentile(completed, 0.90)
+	res.P99 = percentile(completed, 0.99)
 	return res
 }
 

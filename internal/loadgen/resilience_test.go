@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunContextCancellationStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var issued atomic.Int64
+	res, err := RunContext(ctx, Config{
+		Concurrency: 2,
+		Requests:    1000,
+		MissQuery:   func(i int) string { return fmt.Sprintf("q%d", i) },
+		Do: func(query string) error {
+			if issued.Add(1) == 10 {
+				cancel() // a shutdown signal arrives mid-run
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Requests >= 1000 {
+		t.Errorf("run did not stop early: %d requests", res.Requests)
+	}
+	if res.Requests+res.Skipped != 1000 {
+		t.Errorf("requests %d + skipped %d != 1000", res.Requests, res.Skipped)
+	}
+	if res.Requests < 10 {
+		t.Errorf("requests = %d, want at least the 10 issued before cancel", res.Requests)
+	}
+}
+
+func TestRunContextCompletesWithoutCancellation(t *testing.T) {
+	res, err := RunContext(context.Background(), Config{
+		Concurrency: 4,
+		Requests:    100,
+		MissQuery:   func(i int) string { return fmt.Sprintf("q%d", i) },
+		Do:          func(string) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 100 || res.Skipped != 0 {
+		t.Errorf("requests = %d, skipped = %d", res.Requests, res.Skipped)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	errBreaker := errors.New("breaker open")
+	errTimeout := errors.New("timeout")
+	res, err := Run(Config{
+		Concurrency: 1,
+		Requests:    10,
+		MissQuery:   func(i int) string { return fmt.Sprintf("q%d", i) },
+		Do: func(query string) error {
+			switch query {
+			case "q0", "q1", "q2":
+				return errBreaker
+			case "q3":
+				return errTimeout
+			}
+			return nil
+		},
+		Classify: func(err error) string {
+			switch {
+			case errors.Is(err, errBreaker):
+				return "breaker-open"
+			case errors.Is(err, errTimeout):
+				return "timeout"
+			}
+			return "other"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 4 {
+		t.Errorf("errors = %d, want 4", res.Errors)
+	}
+	if res.Classes["breaker-open"] != 3 || res.Classes["timeout"] != 1 {
+		t.Errorf("classes = %v", res.Classes)
+	}
+}
+
+func TestDefaultErrorClass(t *testing.T) {
+	res, err := Run(Config{
+		Concurrency: 1,
+		Requests:    3,
+		MissQuery:   func(i int) string { return fmt.Sprintf("q%d", i) },
+		Do:          func(string) error { return errors.New("boom") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes["error"] != 3 {
+		t.Errorf("classes = %v, want 3 under \"error\"", res.Classes)
+	}
+}

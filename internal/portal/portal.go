@@ -11,6 +11,7 @@ import (
 	"html"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/client"
 	"repro/internal/googleapi"
@@ -31,12 +32,25 @@ type Backend struct {
 // Site is the portal: an http.Handler rendering one page per request.
 type Site struct {
 	backends []Backend
+	failSoft bool
+	degraded atomic.Int64
 }
 
 // New builds a Site over its back ends.
 func New(backends ...Backend) *Site {
 	return &Site{backends: backends}
 }
+
+// SetFailSoft switches the portal to degraded rendering: a failing
+// back end yields an "unavailable" section instead of failing the whole
+// page — one dead service must not take down the portal. Combined with
+// the cache's StaleIfError, a section degrades to stale data first and
+// to an apology only when nothing is cached.
+func (s *Site) SetFailSoft(on bool) { s.failSoft = on }
+
+// DegradedSections returns how many sections have rendered in degraded
+// (unavailable) form since the site was built.
+func (s *Site) DegradedSections() int64 { return s.degraded.Load() }
 
 // Render produces the portal page for a query by invoking every back
 // end through the client middleware.
@@ -51,7 +65,14 @@ func (s *Site) Render(query string) (string, error) {
 	for _, be := range s.backends {
 		result, err := be.Call.Invoke(context.Background(), be.Params(query)...)
 		if err != nil {
-			return "", fmt.Errorf("portal: backend %s: %w", be.Name, err)
+			if !s.failSoft {
+				return "", fmt.Errorf("portal: backend %s: %w", be.Name, err)
+			}
+			s.degraded.Add(1)
+			b.WriteString(`<section class="degraded"><h2>`)
+			b.WriteString(html.EscapeString(be.Name))
+			b.WriteString("</h2><p>temporarily unavailable</p></section>")
+			continue
 		}
 		b.WriteString("<section><h2>")
 		b.WriteString(html.EscapeString(be.Name))

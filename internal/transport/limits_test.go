@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHTTPMaxResponseBytes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(strings.Repeat("x", 1024)))
+	}))
+	defer srv.Close()
+
+	tr := &HTTP{MaxResponseBytes: 100}
+	_, err := tr.Send(context.Background(), &Request{Endpoint: srv.URL})
+	var tooLarge *ResponseTooLargeError
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("err = %v, want ResponseTooLargeError", err)
+	}
+	if tooLarge.Limit != 100 {
+		t.Errorf("limit = %d", tooLarge.Limit)
+	}
+
+	// At or under the limit the read succeeds.
+	tr.MaxResponseBytes = 1024
+	resp, err := tr.Send(context.Background(), &Request{Endpoint: srv.URL})
+	if err != nil {
+		t.Fatalf("Send under limit: %v", err)
+	}
+	if len(resp.Body) != 1024 {
+		t.Errorf("body = %d bytes", len(resp.Body))
+	}
+
+	// Negative disables the bound.
+	tr.MaxResponseBytes = -1
+	if _, err := tr.Send(context.Background(), &Request{Endpoint: srv.URL}); err != nil {
+		t.Fatalf("Send unbounded: %v", err)
+	}
+}
+
+func TestInProcessMaxResponseBytes(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(strings.Repeat("y", 512)))
+	})
+	tr := &InProcess{Handler: h, MaxResponseBytes: 256}
+	_, err := tr.Send(context.Background(), &Request{Endpoint: "http://inproc/"})
+	var tooLarge *ResponseTooLargeError
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("err = %v, want ResponseTooLargeError", err)
+	}
+
+	tr.MaxResponseBytes = 512
+	if _, err := tr.Send(context.Background(), &Request{Endpoint: "http://inproc/"}); err != nil {
+		t.Fatalf("Send under limit: %v", err)
+	}
+}
+
+func TestHTTPDefaultClientTimesOut(t *testing.T) {
+	// The zero-value HTTP transport must not fall back to
+	// http.DefaultClient (which never times out): a per-transport
+	// Timeout must abort a hanging backend.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hang until the client gives up
+	}))
+	defer srv.Close()
+
+	tr := &HTTP{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := tr.Send(context.Background(), &Request{Endpoint: srv.URL})
+	if err == nil {
+		t.Fatal("want timeout error from hanging backend")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timed out after %v, want ~50ms", elapsed)
+	}
+}
+
+func TestFreshnessLifetimeHonorsAge(t *testing.T) {
+	now := time.Now()
+	h := http.Header{}
+	h.Set("Cache-Control", "max-age=60")
+	h.Set("Age", "45")
+	lifetime, ok := FreshnessLifetime(h, now)
+	if !ok || lifetime != 15*time.Second {
+		t.Errorf("lifetime = %v, %v; want 15s, true", lifetime, ok)
+	}
+
+	// Age consuming the whole max-age means the response is already
+	// stale on arrival.
+	h.Set("Age", "60")
+	if _, ok := FreshnessLifetime(h, now); ok {
+		t.Error("want ok=false when Age >= max-age")
+	}
+
+	// Malformed Age is ignored.
+	h.Set("Age", "bogus")
+	lifetime, ok = FreshnessLifetime(h, now)
+	if !ok || lifetime != 60*time.Second {
+		t.Errorf("lifetime = %v, %v; want 60s, true", lifetime, ok)
+	}
+
+	// Age does not apply to Expires (an absolute time).
+	h2 := http.Header{}
+	h2.Set("Expires", now.Add(30*time.Second).UTC().Format(http.TimeFormat))
+	h2.Set("Age", "20")
+	lifetime, ok = FreshnessLifetime(h2, now)
+	if !ok || lifetime < 29*time.Second || lifetime > 30*time.Second {
+		t.Errorf("Expires lifetime = %v, %v", lifetime, ok)
+	}
+}

@@ -69,11 +69,63 @@ func truncate(s string, n int) string {
 	return s[:n] + "..."
 }
 
-// HTTP is a Transport over net/http. The zero value uses
-// http.DefaultClient.
+// DefaultMaxResponseBytes bounds response reads when MaxResponseBytes
+// is zero. Generous for SOAP payloads, but finite: a misbehaving
+// backend cannot exhaust client memory.
+const DefaultMaxResponseBytes = 64 << 20 // 64 MiB
+
+// DefaultTimeout bounds a whole HTTP exchange when no client and no
+// per-transport timeout is configured, so a dead backend fails rather
+// than hangs (the request context can still impose a tighter deadline).
+const DefaultTimeout = 30 * time.Second
+
+// ResponseTooLargeError reports a response body exceeding the
+// transport's MaxResponseBytes limit.
+type ResponseTooLargeError struct {
+	Limit int64
+}
+
+// Error implements the error interface.
+func (e *ResponseTooLargeError) Error() string {
+	return fmt.Sprintf("transport: response body exceeds %d-byte limit", e.Limit)
+}
+
+// readBody reads a response body under a size limit: max 0 applies
+// DefaultMaxResponseBytes, negative max disables the bound.
+func readBody(r io.Reader, max int64) ([]byte, error) {
+	if max < 0 {
+		return io.ReadAll(r)
+	}
+	if max == 0 {
+		max = DefaultMaxResponseBytes
+	}
+	body, err := io.ReadAll(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > max {
+		return nil, &ResponseTooLargeError{Limit: max}
+	}
+	return body, nil
+}
+
+// defaultClient backs HTTP transports with no Client configured. Unlike
+// http.DefaultClient it times out, so a dead backend cannot hang an
+// invocation forever.
+var defaultClient = &http.Client{Timeout: DefaultTimeout}
+
+// HTTP is a Transport over net/http. The zero value uses a shared
+// client with DefaultTimeout and bounds response bodies at
+// DefaultMaxResponseBytes.
 type HTTP struct {
 	// Client overrides the HTTP client when non-nil.
 	Client *http.Client
+	// Timeout bounds the whole exchange when Client is nil; zero means
+	// DefaultTimeout.
+	Timeout time.Duration
+	// MaxResponseBytes bounds the response body read. Zero means
+	// DefaultMaxResponseBytes; negative means unlimited.
+	MaxResponseBytes int64
 }
 
 var _ Transport = (*HTTP)(nil)
@@ -85,7 +137,11 @@ var _ Transport = (*HTTP)(nil)
 func (t *HTTP) Send(ctx context.Context, treq *Request) (*Response, error) {
 	client := t.Client
 	if client == nil {
-		client = http.DefaultClient
+		if t.Timeout > 0 {
+			client = &http.Client{Timeout: t.Timeout}
+		} else {
+			client = defaultClient
+		}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, treq.Endpoint, bytes.NewReader(treq.Body))
 	if err != nil {
@@ -99,7 +155,7 @@ func (t *HTTP) Send(ctx context.Context, treq *Request) (*Response, error) {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
 	defer func() { _ = resp.Body.Close() }()
-	body, err := io.ReadAll(resp.Body)
+	body, err := readBody(resp.Body, t.MaxResponseBytes)
 	if err != nil {
 		return nil, fmt.Errorf("transport: read response: %w", err)
 	}
@@ -143,6 +199,10 @@ func (f Func) Send(ctx context.Context, req *Request) (*Response, error) {
 // network, preserving HTTP semantics (headers, status codes).
 type InProcess struct {
 	Handler http.Handler
+	// MaxResponseBytes bounds the response body, with the same semantics
+	// as HTTP.MaxResponseBytes: zero means DefaultMaxResponseBytes,
+	// negative means unlimited.
+	MaxResponseBytes int64
 }
 
 var _ Transport = (*InProcess)(nil)
@@ -158,6 +218,14 @@ func (t *InProcess) Send(ctx context.Context, treq *Request) (*Response, error) 
 	copyHeader(req.Header, treq.Header)
 	rw := &bufferResponseWriter{header: make(http.Header), status: http.StatusOK}
 	t.Handler.ServeHTTP(rw, req)
+	if max := t.MaxResponseBytes; max >= 0 {
+		if max == 0 {
+			max = DefaultMaxResponseBytes
+		}
+		if int64(rw.buf.Len()) > max {
+			return nil, fmt.Errorf("transport: read response: %w", &ResponseTooLargeError{Limit: max})
+		}
+	}
 	if !acceptableStatus(rw.status) {
 		return nil, &StatusError{Status: rw.status, Body: rw.buf.String()}
 	}
@@ -217,8 +285,11 @@ func ParseCacheControl(v string) CacheDirectives {
 
 // FreshnessLifetime derives how long a response may be served from
 // cache, from its headers: Cache-Control max-age wins over Expires.
-// ok is false when the headers do not permit caching or give no
-// lifetime.
+// A max-age lifetime is reduced by the Age header — time the response
+// already spent in upstream caches (RFC 9111 §4.2.3); Expires is an
+// absolute time, so Age does not apply to it. ok is false when the
+// headers do not permit caching, give no lifetime, or the response's
+// remaining lifetime is already spent.
 func FreshnessLifetime(h http.Header, now time.Time) (time.Duration, bool) {
 	if cc := h.Get("Cache-Control"); cc != "" {
 		d := ParseCacheControl(cc)
@@ -226,7 +297,11 @@ func FreshnessLifetime(h http.Header, now time.Time) (time.Duration, bool) {
 			return 0, false
 		}
 		if d.HasMaxAge {
-			return d.MaxAge, true
+			lifetime := d.MaxAge - responseAge(h)
+			if lifetime <= 0 {
+				return 0, false
+			}
+			return lifetime, true
 		}
 	}
 	if exp := h.Get("Expires"); exp != "" {
@@ -239,6 +314,20 @@ func FreshnessLifetime(h http.Header, now time.Time) (time.Duration, bool) {
 		}
 	}
 	return 0, false
+}
+
+// responseAge reads the Age response header (non-negative seconds the
+// response spent in upstream caches); malformed or absent means zero.
+func responseAge(h http.Header) time.Duration {
+	v := strings.TrimSpace(h.Get("Age"))
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // NotModified reports whether a request bearing If-Modified-Since
