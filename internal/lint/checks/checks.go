@@ -1,0 +1,15 @@
+package checks
+
+import "repro/internal/lint"
+
+// All returns the repository's analyzer suite with default scopes.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		AliasCopy(),
+		LockGuard(),
+		CtxFlow(),
+		ClockInject(nil),
+		XMLEscape(nil),
+		TypeMapReg(),
+	}
+}

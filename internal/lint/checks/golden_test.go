@@ -1,0 +1,159 @@
+package checks
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe extracts the expectation pattern from a // want "..." comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+"([^"]*)"`)
+
+// expectation is one // want comment: a diagnostic that must be
+// reported on its line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+}
+
+// runGolden loads testdata/src/<name>, runs the analyzer, and matches
+// its diagnostics against the fixture's // want comments, both ways:
+// every diagnostic needs a matching expectation and every expectation
+// needs a matching diagnostic.
+func runGolden(t *testing.T, a *lint.Analyzer) {
+	t.Helper()
+	pattern := "./testdata/src/" + a.Name
+	pkgs, err := lint.Load(".", pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded from %s", pattern)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			filename := pkg.Fset.Position(file.Pos()).Filename
+			rel, err := filepath.Rel(".", filename)
+			if err != nil {
+				rel = filename
+			}
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", rel, m[1], err)
+					}
+					wants = append(wants, &expectation{
+						file:    rel,
+						line:    pkg.Fset.Position(c.Pos()).Line,
+						pattern: rx,
+					})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments; it cannot prove the analyzer fires", pattern)
+	}
+
+	diags := lint.Run(".", pkgs, []*lint.Analyzer{a})
+	matched := make(map[*expectation]bool)
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if matched[w] || w.file != d.File || w.line != d.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				matched[w] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic %s:%d: %s: %s", d.File, d.Line, d.Check, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// fixtureScope admits every package, so fixtures outside the real
+// default scopes still exercise the scoped analyzers.
+func fixtureScope(string) bool { return true }
+
+func TestAliasCopyGolden(t *testing.T)   { runGolden(t, AliasCopy()) }
+func TestLockGuardGolden(t *testing.T)   { runGolden(t, LockGuard()) }
+func TestCtxFlowGolden(t *testing.T)     { runGolden(t, CtxFlow()) }
+func TestClockInjectGolden(t *testing.T) { runGolden(t, ClockInject(fixtureScope)) }
+func TestXMLEscapeGolden(t *testing.T)   { runGolden(t, XMLEscape(fixtureScope)) }
+func TestTypeMapRegGolden(t *testing.T)  { runGolden(t, TypeMapReg()) }
+
+// TestRepoIsLintClean is the meta-test behind `make lint`: the full
+// analyzer suite must report nothing on the repository itself. A
+// finding here means either new code broke an invariant or it needs an
+// explicit //lint:ignore with a reason.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short")
+	}
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading ./...: %v", err)
+	}
+	for _, d := range lint.Run(root, pkgs, All()) {
+		t.Errorf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+	}
+}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// TestFixturesAreNotLintedByWildcard guards the layout assumption that
+// testdata packages stay invisible to ./... — the repo-clean meta-test
+// is only meaningful if the deliberately broken fixtures don't load.
+func TestFixturesAreNotLintedByWildcard(t *testing.T) {
+	pkgs, err := lint.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("loading ./...: %v", err)
+	}
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Errorf("wildcard load picked up fixture package %s", pkg.Path)
+		}
+	}
+}

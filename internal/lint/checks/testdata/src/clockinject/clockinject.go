@@ -1,0 +1,48 @@
+// Package clockinject is the golden fixture for the clockinject
+// analyzer: direct wall-clock reads versus the injected seam.
+package clockinject
+
+import "time"
+
+// TTLCache expires entries against an injected clock.
+type TTLCache struct {
+	now     func() time.Time
+	expires time.Time
+}
+
+// Expired uses the injected clock; Time.After is a method, not the
+// package function, and stays allowed.
+func (c *TTLCache) Expired() bool {
+	return c.now().After(c.expires)
+}
+
+// Stamp reads the wall clock directly.
+func (c *TTLCache) Stamp() {
+	c.expires = time.Now().Add(time.Minute) // want "direct use of time.Now"
+}
+
+// Wait sleeps for real.
+func Wait() {
+	time.Sleep(time.Millisecond) // want "direct use of time.Sleep"
+}
+
+// Tick blocks on the package-level timer channel.
+func Tick() <-chan time.Time {
+	return time.After(time.Millisecond) // want "direct use of time.After"
+}
+
+// WaitCancellable uses the timer primitive, which is allowed.
+func WaitCancellable(d time.Duration, done <-chan struct{}) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
+// StampSuppressed documents why it reads the wall clock.
+func (c *TTLCache) StampSuppressed() {
+	//lint:ignore clockinject fixture demonstrating suppression
+	c.expires = time.Now()
+}

@@ -1,0 +1,42 @@
+// Package ctxflow is the golden fixture for the ctxflow analyzer:
+// minted root contexts and dropped caller contexts in library code.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// Client owns a base context captured at construction.
+type Client struct {
+	base context.Context
+}
+
+func fetch(ctx context.Context, key string) (string, error) {
+	_ = ctx
+	return key, nil
+}
+
+// Lookup mints a root context instead of accepting one.
+func (c *Client) Lookup(key string) (string, error) {
+	return fetch(context.Background(), key) // want "library code calls context.Background"
+}
+
+// LookupContext propagates correctly, including derived contexts.
+func (c *Client) LookupContext(ctx context.Context, key string) (string, error) {
+	dctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return fetch(dctx, key)
+}
+
+// LookupStale takes a context but passes its stored one instead.
+func (c *Client) LookupStale(ctx context.Context, key string) (string, error) {
+	return fetch(c.base, key) // want "does not pass it .or a context derived from it."
+}
+
+// LookupOld is a grandfathered compatibility shim.
+//
+// Deprecated: use LookupContext.
+func (c *Client) LookupOld(key string) (string, error) {
+	return fetch(context.Background(), key)
+}

@@ -1,0 +1,54 @@
+// Package lockguard is the golden fixture for the lockguard analyzer:
+// mutex-grouped fields accessed with and without their lock.
+package lockguard
+
+import "sync"
+
+// Counter groups guarded state under mu; free is outside the group.
+type Counter struct {
+	name string
+
+	mu    sync.Mutex
+	count int
+	// peak tracks the high-water mark of count.
+	peak int
+
+	free int
+}
+
+// Bump locks correctly.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+	if c.count > c.peak {
+		c.peak = c.count
+	}
+}
+
+// Peek forgets the lock.
+func (c *Counter) Peek() int {
+	return c.count // want "accesses Counter.count, guarded by c.mu, without locking it"
+}
+
+// resetLocked is exempt by naming convention.
+func (c *Counter) resetLocked() {
+	c.count = 0
+	c.peak = 0
+}
+
+// snapshot is exempt by documentation. Callers hold c.mu.
+func (c *Counter) snapshot() (int, int) {
+	return c.count, c.peak
+}
+
+// Free touches only unguarded fields.
+func (c *Counter) Free() int {
+	c.free++
+	return c.free
+}
+
+// Name reads a field declared above the mutex, outside the group.
+func (c *Counter) Name() string {
+	return c.name
+}

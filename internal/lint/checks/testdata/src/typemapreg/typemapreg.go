@@ -1,0 +1,63 @@
+// Package typemapreg is the golden fixture for the typemapreg
+// analyzer: a generated-style service package whose RegisterTypes
+// misses a nested struct and a Cloner-tagged struct.
+package typemapreg
+
+import "repro/internal/typemap"
+
+const ns = "urn:fixture"
+
+// Search is the registered root type.
+type Search struct {
+	Query string
+	Page  Page
+}
+
+// Page is reachable from Search's fields but never registered.
+type Page struct { // want "struct Page is serialized via internal/soap .* not registered"
+	Number int
+}
+
+// CloneDeep marks Result as a generated SOAP type.
+func (r *Result) CloneDeep() *Result {
+	cp := *r
+	return &cp
+}
+
+// Result carries Cloner support but is never registered.
+type Result struct { // want "struct Result is serialized via internal/soap .* not registered"
+	Score float64
+}
+
+// Meta is registered and Cloner-tagged: fully consistent.
+type Meta struct {
+	Elapsed float64
+}
+
+// CloneDeep returns a copy of m.
+func (m *Meta) CloneDeep() *Meta {
+	cp := *m
+	return &cp
+}
+
+// unexportedHelper has no Cloner support and is unreachable from
+// registered types, so it needs no registration.
+type unexportedHelper struct {
+	scratch []byte
+}
+
+// RegisterTypes binds the package's serialized structs to XML names.
+func RegisterTypes(reg *typemap.Registry) error {
+	for _, b := range []struct {
+		local string
+		proto any
+	}{
+		{"Search", Search{}},
+		{"Meta", Meta{}},
+	} {
+		if err := reg.Register(typemap.QName{Space: ns, Local: b.local}, b.proto); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fixtureAnalyzer flags every use of the package function time.Now,
+// standing in for clockinject so the framework test doesn't depend on
+// the checks package.
+func fixtureAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "clockinject",
+		Doc:  "test stand-in",
+		Run: func(pass *Pass) {
+			for ident, obj := range pass.Pkg.Info.Uses {
+				if ExportedFrom(obj, "time", "Now") {
+					pass.Reportf(ident.Pos(), "direct use of time.Now")
+				}
+			}
+		},
+	}
+}
+
+// TestSuppressions loads the suppress fixture and checks that the
+// well-formed //lint:ignore silences its line, the reason-less one is
+// itself reported, and the unsuppressed diagnostic survives.
+func TestSuppressions(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := Run(".", pkgs, []*Analyzer{fixtureAnalyzer()})
+
+	var gotMalformed, gotSurvivor bool
+	for _, d := range diags {
+		switch {
+		case d.Check == "lint" && strings.Contains(d.Message, "malformed"):
+			gotMalformed = true
+		case d.Check == "clockinject":
+			// The only clockinject finding must be the one under the
+			// reason-less (void) directive; the well-formed one is
+			// silenced.
+			gotSurvivor = true
+		}
+	}
+	if !gotMalformed {
+		t.Errorf("missing diagnostic for reason-less //lint:ignore; got %v", diags)
+	}
+	if !gotSurvivor {
+		t.Errorf("malformed directive must not suppress; got %v", diags)
+	}
+	if len(diags) != 2 {
+		t.Errorf("want exactly 2 diagnostics (malformed directive + surviving finding), got %d: %v", len(diags), diags)
+	}
+}
+
+// TestDiagnosticJSONShape pins the machine-readable output format that
+// CI and editors consume.
+func TestDiagnosticJSONShape(t *testing.T) {
+	d := Diagnostic{Check: "ctxflow", File: "internal/a/a.go", Line: 7, Col: 3, Message: "m"}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"check":"ctxflow","file":"internal/a/a.go","line":7,"col":3,"message":"m"}`
+	if string(b) != want {
+		t.Errorf("JSON shape changed:\n got %s\nwant %s", b, want)
+	}
+}
+
+// TestRunSortsAndDedupes pins the deterministic ordering contract: two
+// identical analyzers produce duplicate findings, Run collapses them
+// and orders what remains.
+func TestRunSortsAndDedupes(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := Run(".", pkgs, []*Analyzer{fixtureAnalyzer(), fixtureAnalyzer()})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a == b {
+			t.Errorf("duplicate diagnostic survived: %v", a)
+		}
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+}
+
+// TestExportedFromRejectsMethods guards the package-function/method
+// distinction: the Time.After method must not match a hypothetical
+// package function of the same name.
+func TestExportedFromRejectsMethods(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	var sawFunc, sawMethod bool
+	for _, obj := range pkgs[0].Info.Uses {
+		switch obj.Name() {
+		case "Now":
+			if ExportedFrom(obj, "time", "Now") {
+				sawFunc = true
+			}
+		case "After":
+			sawMethod = true
+			if ExportedFrom(obj, "time", "After") {
+				t.Errorf("ExportedFrom matched the Time.After method as time.After")
+			}
+		}
+	}
+	if !sawFunc {
+		t.Error("ExportedFrom failed to match the package function time.Now")
+	}
+	if !sawMethod {
+		t.Error("fixture no longer uses Time.After; the method case is untested")
+	}
+}

@@ -1,0 +1,23 @@
+// Package suppress is the framework fixture for //lint:ignore
+// handling: a well-formed directive and a malformed one.
+package suppress
+
+import "time"
+
+// Stamp carries a correctly suppressed wall-clock read.
+func Stamp() time.Time {
+	//lint:ignore clockinject fixture exercising a well-formed suppression
+	return time.Now()
+}
+
+// Bad carries a directive with no reason, which must be reported.
+func Bad() time.Time {
+	//lint:ignore clockinject
+	return time.Now()
+}
+
+// Later compares via the Time.After method, which must never be
+// mistaken for the package function time.After.
+func Later(a, b time.Time) bool {
+	return a.After(b)
+}
