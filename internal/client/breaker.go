@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/soap"
 )
 
@@ -141,9 +142,7 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	if cfg.IsFailure == nil {
 		cfg.IsFailure = defaultIsFailure
 	}
-	if cfg.Clock == nil {
-		cfg.Clock = time.Now
-	}
+	cfg.Clock = clock.Or(cfg.Clock)
 	return &Breaker{cfg: cfg, endpoints: make(map[string]*endpointBreaker)}
 }
 

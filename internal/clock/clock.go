@@ -1,0 +1,29 @@
+// Package clock is the repository's single injectable time seam. Every
+// time-sensitive package (cache core, client handler chain, transport,
+// server cache) takes a Clock hook in its config and defaults it
+// through Or, so that TTL expiry, breaker windows, and backoff
+// schedules can be driven deterministically in tests. This package is
+// the one sanctioned caller of time.Now in the hot path; the
+// clockinject analyzer enforces that everywhere else.
+package clock
+
+import "time"
+
+// Func reads the current time. It is the type of every Clock
+// configuration hook; a nil hook means "use the system clock".
+type Func = func() time.Time
+
+// System reads the wall clock. It is the default every config falls
+// back to via Or.
+func System() time.Time { return time.Now() }
+
+// Or returns c, or the system clock when c is nil. Configs default
+// their Clock fields with it:
+//
+//	now := clock.Or(cfg.Clock)
+func Or(c Func) Func {
+	if c == nil {
+		return System
+	}
+	return c
+}

@@ -1,0 +1,25 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOrDefaultsToSystem(t *testing.T) {
+	now := Or(nil)
+	if now == nil {
+		t.Fatal("Or(nil) returned nil")
+	}
+	got := now()
+	if d := time.Since(got); d < 0 || d > time.Minute {
+		t.Fatalf("Or(nil)() = %v, not close to the system clock", got)
+	}
+}
+
+func TestOrKeepsInjectedClock(t *testing.T) {
+	fixed := time.Date(2004, 3, 24, 0, 0, 0, 0, time.UTC) // ICDCS 2004
+	now := Or(func() time.Time { return fixed })
+	if got := now(); !got.Equal(fixed) {
+		t.Fatalf("Or(injected)() = %v, want %v", got, fixed)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/clock"
 	"repro/internal/transport"
 )
 
@@ -184,10 +185,7 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("core: Config.Store is required")
 	}
-	now := cfg.Clock
-	if now == nil {
-		now = time.Now
-	}
+	now := clock.Or(cfg.Clock)
 	return &Cache{
 		keygen:         cfg.KeyGen,
 		store:          cfg.Store,

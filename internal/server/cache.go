@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/soap"
 )
 
@@ -63,10 +64,7 @@ func NewResponseCache(inner *Dispatcher, cfg ResponseCacheConfig) *ResponseCache
 	if maxEntries <= 0 {
 		maxEntries = 4096
 	}
-	now := cfg.Clock
-	if now == nil {
-		now = time.Now
-	}
+	now := clock.Or(cfg.Clock)
 	return &ResponseCache{
 		inner:      inner,
 		ttl:        cfg.TTL,
