@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/bench"
@@ -68,7 +70,9 @@ func run(figure, requests, hot int, storeFilter, op, format string) error {
 	fmt.Fprintf(os.Stderr, "portalbench: figure %d, op %s, %d requests/point, concurrency %d, %d methods × 6 ratios\n",
 		figure, op, requests, concurrency, len(stores))
 
-	series, err := bench.Figure(bench.FigureConfig{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	series, err := bench.FigureContext(ctx, bench.FigureConfig{
 		Concurrency:      concurrency,
 		RequestsPerPoint: requests,
 		Stores:           stores,

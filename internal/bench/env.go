@@ -97,6 +97,7 @@ func (e *Env) fabricate(op string, params []soap.Param, result any) (*client.Con
 		return nil, err
 	}
 	return &client.Context{
+		//lint:ignore ctxflow fabricated post-invocation record for benchmarks; there is no live call whose context it could inherit
 		Ctx:            context.Background(),
 		Endpoint:       googleapi.Endpoint,
 		Namespace:      googleapi.Namespace,

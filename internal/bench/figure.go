@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -88,7 +89,15 @@ type FigureConfig struct {
 // measured operation is doGoogleSearch (the paper's choice: the
 // spread between methods is largest there), keys by string
 // concatenation.
+//
+// Deprecated: Figure cannot be cancelled. Use FigureContext.
 func Figure(cfg FigureConfig) ([]FigureSeries, error) {
+	return FigureContext(context.Background(), cfg)
+}
+
+// FigureContext runs the sweep under the caller's context; cancelling
+// ctx stops the load generator between requests and aborts the sweep.
+func FigureContext(ctx context.Context, cfg FigureConfig) ([]FigureSeries, error) {
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 1
 	}
@@ -115,7 +124,7 @@ func Figure(cfg FigureConfig) ([]FigureSeries, error) {
 	for _, spec := range cfg.Stores {
 		series := FigureSeries{Store: spec.Name}
 		for _, ratio := range cfg.HitRatios {
-			pt, err := figurePoint(cfg, spec, ratio)
+			pt, err := figurePoint(ctx, cfg, spec, ratio)
 			if err != nil {
 				return nil, fmt.Errorf("bench: figure %s @%.0f%%: %w", spec.Name, ratio*100, err)
 			}
@@ -128,7 +137,7 @@ func Figure(cfg FigureConfig) ([]FigureSeries, error) {
 
 // figurePoint measures one (store, hit ratio) cell with a fresh portal
 // stack.
-func figurePoint(cfg FigureConfig, spec StoreSpec, ratio float64) (FigurePoint, error) {
+func figurePoint(ctx context.Context, cfg FigureConfig, spec StoreSpec, ratio float64) (FigurePoint, error) {
 	disp, codec, err := googleapi.NewDispatcher()
 	if err != nil {
 		return FigurePoint{}, err
@@ -156,19 +165,19 @@ func figurePoint(cfg FigureConfig, spec StoreSpec, ratio float64) (FigurePoint, 
 	}
 	// Pre-warm so hot queries hit from the first measured request.
 	for _, q := range hot {
-		if _, err := site.Render(q); err != nil {
+		if _, err := site.RenderContext(ctx, q); err != nil {
 			return FigurePoint{}, err
 		}
 	}
 
-	res, err := loadgen.Run(loadgen.Config{
+	res, err := loadgen.RunContext(ctx, loadgen.Config{
 		Concurrency: cfg.Concurrency,
 		Requests:    cfg.RequestsPerPoint,
 		HitRatio:    ratio,
 		HotQueries:  hot,
 		MissQuery:   func(i int) string { return fmt.Sprintf("miss query %d", i) },
 		Do: func(q string) error {
-			_, err := site.Render(q)
+			_, err := site.RenderContext(ctx, q)
 			return err
 		},
 	})

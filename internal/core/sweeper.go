@@ -26,6 +26,10 @@ type Sweeper struct {
 }
 
 // NewSweeper starts a sweeper over cache. interval must be positive.
+//
+// Deprecated: NewSweeper pins the sweeper goroutine to
+// context.Background, detaching it from any server lifecycle. Use
+// NewSweeperContext so cancellation reaches the sweeper.
 func NewSweeper(cache *Cache, interval time.Duration) *Sweeper {
 	return NewSweeperContext(context.Background(), cache, interval)
 }

@@ -77,6 +77,9 @@ func (r Result) String() string {
 }
 
 // Run executes the configured load and returns aggregate metrics.
+//
+// Deprecated: Run cannot be cancelled. Use RunContext so a caller's
+// deadline or interrupt stops the load.
 func Run(cfg Config) (Result, error) {
 	return RunContext(context.Background(), cfg)
 }

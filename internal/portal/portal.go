@@ -54,7 +54,19 @@ func (s *Site) DegradedSections() int64 { return s.degraded.Load() }
 
 // Render produces the portal page for a query by invoking every back
 // end through the client middleware.
+//
+// Deprecated: Render severs the page from its caller's cancellation by
+// minting a root context per back-end call. Use RenderContext; HTTP
+// handlers should pass r.Context() so an abandoned request stops
+// invoking back ends.
 func (s *Site) Render(query string) (string, error) {
+	return s.RenderContext(context.Background(), query)
+}
+
+// RenderContext produces the portal page for a query by invoking every
+// back end through the client middleware, under the caller's context:
+// cancelling ctx aborts the remaining back-end invocations.
+func (s *Site) RenderContext(ctx context.Context, query string) (string, error) {
 	var b strings.Builder
 	b.Grow(4096)
 	b.WriteString("<!DOCTYPE html><html><head><title>Portal: ")
@@ -63,7 +75,7 @@ func (s *Site) Render(query string) (string, error) {
 	b.WriteString(html.EscapeString(query))
 	b.WriteString("</h1>")
 	for _, be := range s.backends {
-		result, err := be.Call.Invoke(context.Background(), be.Params(query)...)
+		result, err := be.Call.Invoke(ctx, be.Params(query)...)
 		if err != nil {
 			if !s.failSoft {
 				return "", fmt.Errorf("portal: backend %s: %w", be.Name, err)
@@ -114,7 +126,7 @@ func (s *Site) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if query == "" {
 		query = "web services"
 	}
-	page, err := s.Render(query)
+	page, err := s.RenderContext(r.Context(), query)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
