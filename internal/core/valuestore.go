@@ -498,6 +498,7 @@ func (s *AutoStore) Store(ictx *client.Context) (any, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	//lint:ignore aliascopy chosen is one of s's member stores picked by classification; it only reads ictx and is not data reachable from it
 	return &autoPayload{store: chosen, payload: payload}, size, nil
 }
 
