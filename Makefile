@@ -3,15 +3,17 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench tables figures fuzz generate clean
+.PHONY: all check build vet lint test race cover bench tables figures fuzz generate clean
 
-all: build vet test
+all: build vet lint test
 
-# The CI gate: everything must build, vet clean, and pass under the
-# race detector (the resilience paths are concurrency-heavy).
+# The CI gate: everything must build, vet and wscachelint clean, and
+# pass under the race detector (the resilience paths are
+# concurrency-heavy).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
+	$(GO) run ./cmd/wscachelint ./...
 	$(GO) test -race ./...
 
 build:
@@ -19,6 +21,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific static analysis (internal/lint/checks). Suppress a
+# finding with //lint:ignore <check> <reason> on or above the line.
+lint:
+	$(GO) run ./cmd/wscachelint ./...
 
 test:
 	$(GO) test ./...
