@@ -24,6 +24,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/googleapi"
+	"repro/internal/obs"
 	"repro/internal/sax"
 	"repro/internal/server"
 	"repro/internal/transport"
@@ -195,7 +196,7 @@ func metricName(row, col string) string {
 func benchFigure(b *testing.B, concurrency int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		series, err := bench.Figure(bench.FigureConfig{
+		series, err := bench.FigureContext(context.Background(), bench.FigureConfig{
 			Concurrency:      concurrency,
 			RequestsPerPoint: 300,
 			HotQueries:       4,
@@ -683,6 +684,63 @@ func BenchmarkEndToEnd(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkObsOverhead measures what the observability layer costs on
+// the hottest path, a cache hit through the full middleware stack.
+// "off" is the default configuration (no registry, no tracer): stage
+// timing is compiled out behind a single bool, so this variant must
+// stay within noise (<5%) of the pre-instrumentation baseline.
+// "registry" pays for clock reads plus histogram updates per stage,
+// and "registry+tracer" adds the callback dispatch.
+func BenchmarkObsOverhead(b *testing.B) {
+	newCall := func(reg *obs.Registry, tracer obs.Tracer) (*client.Call, error) {
+		disp, codec, err := googleapi.NewDispatcher()
+		if err != nil {
+			return nil, err
+		}
+		cache := core.MustNew(core.Config{
+			KeyGen:     core.NewStringKey(),
+			Store:      core.NewAutoStore(codec.Registry(), codec),
+			DefaultTTL: time.Hour,
+			Obs:        reg,
+			Tracer:     tracer,
+		})
+		return client.NewCall(codec, &transport.InProcess{Handler: disp},
+			googleapi.Endpoint, googleapi.Namespace, googleapi.OpGoogleSearch, "",
+			client.Options{RecordEvents: true, Handlers: []client.Handler{cache},
+				Obs: reg, Tracer: tracer}), nil
+	}
+	params := googleapi.SearchParams("k", "steady query", 0, 10, false, "", false, "")
+	ctx := context.Background()
+	nopTracer := obs.TracerFunc(func(string, obs.Stage, string, time.Duration, error) {})
+
+	for _, tc := range []struct {
+		name   string
+		reg    *obs.Registry
+		tracer obs.Tracer
+	}{
+		{"off", nil, nil},
+		{"registry", obs.NewRegistry(), nil},
+		{"registry+tracer", obs.NewRegistry(), nopTracer},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			call, err := newCall(tc.reg, tc.tracer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := call.Invoke(ctx, params...); err != nil { // warm: fill the entry
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := call.Invoke(ctx, params...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSOAPCodec tracks the substrate itself: encoding and decoding

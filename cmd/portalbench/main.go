@@ -10,18 +10,24 @@
 //	portalbench -figure 4                # 25 concurrent users
 //	portalbench -requests 2000           # heavier run per point
 //	portalbench -figure 3 -store "Pass by Reference"
+//	portalbench -obs-dump                # print the final /debug/wscache snapshot
+//	portalbench -obs-addr :9091          # serve it live while the sweep runs
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/googleapi"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,18 +37,42 @@ func main() {
 	storeFilter := flag.String("store", "", "run only the named cache method (substring match)")
 	op := flag.String("op", googleapi.OpGoogleSearch, "back-end operation under load (doGoogleSearch, doSpellingSuggestion, doGetCachedPage)")
 	format := flag.String("format", "text", `output format: "text" or "csv"`)
+	obsDump := flag.Bool("obs-dump", false, "print the sweep's observability snapshot as JSON when done")
+	obsAddr := flag.String("obs-addr", "", "serve the live observability snapshot at this address under "+obs.DebugPath)
 	flag.Parse()
 
-	if err := run(*figure, *requests, *hot, *storeFilter, *op, *format); err != nil {
+	cfg := runCfg{
+		figure:      *figure,
+		requests:    *requests,
+		hot:         *hot,
+		storeFilter: *storeFilter,
+		op:          *op,
+		format:      *format,
+		obsDump:     *obsDump,
+		obsAddr:     *obsAddr,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "portalbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure, requests, hot int, storeFilter, op, format string) error {
+// runCfg carries the parsed command line.
+type runCfg struct {
+	figure      int
+	requests    int
+	hot         int
+	storeFilter string
+	op          string
+	format      string
+	obsDump     bool
+	obsAddr     string
+}
+
+func run(cfg runCfg) error {
 	var concurrency int
 	var title string
-	switch figure {
+	switch cfg.figure {
 	case 3:
 		concurrency = 1
 		title = "Throughput and average response time without concurrent access"
@@ -50,42 +80,69 @@ func run(figure, requests, hot int, storeFilter, op, format string) error {
 		concurrency = 25
 		title = "Throughput and average response time with 25 concurrent accesses"
 	default:
-		return fmt.Errorf("no such figure %d (have 3 and 4)", figure)
+		return fmt.Errorf("no such figure %d (have 3 and 4)", cfg.figure)
 	}
 
 	stores := bench.FigureStores()
-	if storeFilter != "" {
+	if cfg.storeFilter != "" {
 		var filtered []bench.StoreSpec
 		for _, s := range stores {
-			if strings.Contains(strings.ToLower(s.Name), strings.ToLower(storeFilter)) {
+			if strings.Contains(strings.ToLower(s.Name), strings.ToLower(cfg.storeFilter)) {
 				filtered = append(filtered, s)
 			}
 		}
 		if len(filtered) == 0 {
-			return fmt.Errorf("no cache method matches %q", storeFilter)
+			return fmt.Errorf("no cache method matches %q", cfg.storeFilter)
 		}
 		stores = filtered
 	}
 
+	// Observability: one registry accumulates across the whole sweep.
+	// Beware that stage timing itself costs a little; leave both flags
+	// off for the most faithful figures.
+	var reg *obs.Registry
+	if cfg.obsDump || cfg.obsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if cfg.obsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle(obs.DebugPath, obs.Handler(reg))
+		srv := &http.Server{Addr: cfg.obsAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "portalbench: obs server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "portalbench: observability at http://%s%s\n", cfg.obsAddr, obs.DebugPath)
+	}
+
 	fmt.Fprintf(os.Stderr, "portalbench: figure %d, op %s, %d requests/point, concurrency %d, %d methods × 6 ratios\n",
-		figure, op, requests, concurrency, len(stores))
+		cfg.figure, cfg.op, cfg.requests, concurrency, len(stores))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	series, err := bench.FigureContext(ctx, bench.FigureConfig{
 		Concurrency:      concurrency,
-		RequestsPerPoint: requests,
+		RequestsPerPoint: cfg.requests,
 		Stores:           stores,
-		HotQueries:       hot,
-		Operation:        op,
+		HotQueries:       cfg.hot,
+		Operation:        cfg.op,
+		Obs:              reg,
 	})
 	if err != nil {
 		return err
 	}
-	if format == "csv" {
+	if cfg.format == "csv" {
 		fmt.Print(bench.CSVFigure(series))
-		return nil
+	} else {
+		fmt.Print(bench.FormatFigure(fmt.Sprintf("Figure %d", cfg.figure), title, series))
 	}
-	fmt.Print(bench.FormatFigure(fmt.Sprintf("Figure %d", figure), title, series))
+	if cfg.obsDump {
+		body, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "observability snapshot:\n%s\n", body)
+	}
 	return nil
 }

@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/googleapi"
+	"repro/internal/obs"
 	"repro/internal/soap"
 	"repro/internal/transport"
 	"repro/internal/typemap"
@@ -41,6 +43,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-call timeout")
 	retries := flag.Int("retries", 1, "total attempts per call (>1 retries transient transport failures)")
 	maxResp := flag.Int64("max-response", 0, "response size cap in bytes (0 = default, -1 = unlimited)")
+	showObs := flag.Bool("obs", false, "print the observability snapshot (stage latencies, counters) as JSON after the calls")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -58,6 +61,7 @@ func main() {
 		timeout:   *timeout,
 		retries:   *retries,
 		maxResp:   *maxResp,
+		showObs:   *showObs,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "wsclient:", err)
@@ -76,6 +80,7 @@ type runConfig struct {
 	timeout   time.Duration
 	retries   int
 	maxResp   int64
+	showObs   bool
 }
 
 func run(cfg runConfig) error {
@@ -102,6 +107,13 @@ func run(cfg runConfig) error {
 	}
 	codec := soap.NewCodec(reg)
 
+	// With -obs one registry spans the whole stack (cache, client
+	// pivot, retries, transport) so the final snapshot is coherent.
+	var obsReg *obs.Registry
+	if cfg.showObs {
+		obsReg = obs.NewRegistry()
+	}
+
 	var handlers []client.Handler
 	var cache *core.Cache
 	if useCache {
@@ -109,15 +121,16 @@ func run(cfg runConfig) error {
 			KeyGen:     core.NewStringKey(),
 			Store:      core.NewAutoStore(reg, codec),
 			DefaultTTL: time.Hour,
+			Obs:        obsReg,
 		})
 		handlers = append(handlers, cache)
 	}
 
-	opts := client.Options{RecordEvents: true, Handlers: handlers}
+	opts := client.Options{RecordEvents: true, Handlers: handlers, Obs: obsReg}
 	if cfg.retries > 1 {
-		opts.Retry = &transport.RetryPolicy{MaxAttempts: cfg.retries}
+		opts.Retry = &transport.RetryPolicy{MaxAttempts: cfg.retries, Obs: obsReg}
 	}
-	svc, err := client.NewService(defs, codec, &transport.HTTP{MaxResponseBytes: cfg.maxResp}, client.ServiceConfig{
+	svc, err := client.NewService(defs, codec, &transport.HTTP{MaxResponseBytes: cfg.maxResp, Obs: obsReg}, client.ServiceConfig{
 		Endpoint: endpoint,
 		Options:  opts,
 	})
@@ -148,6 +161,13 @@ func run(cfg runConfig) error {
 	if cache != nil {
 		s := cache.Stats()
 		fmt.Printf("cache: %d hits, %d misses, %d bytes\n", s.Hits, s.Misses, s.Bytes)
+	}
+	if obsReg != nil {
+		body, err := json.MarshalIndent(obsReg.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("observability snapshot:\n%s\n", body)
 	}
 	return nil
 }

@@ -4,11 +4,17 @@
 // middleware, then a small load run demonstrates the cache's effect on
 // page latency.
 //
-//	go run ./examples/portal            # self-driving demo
+// The whole stack shares one obs.Registry, so the load run ends with a
+// stage-level latency summary and, when serving, the portal exposes the
+// live snapshot at /debug/wscache:
+//
+//	go run ./examples/portal              # self-driving demo
 //	go run ./examples/portal -addr :9090  # also serve the portal page
+//	curl http://localhost:9090/debug/wscache
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/googleapi"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/portal"
 	"repro/internal/soap"
 	"repro/internal/transport"
@@ -27,24 +34,29 @@ import (
 func main() {
 	addr := flag.String("addr", "", "also serve the portal over HTTP at this address")
 	flag.Parse()
-	if err := run(*addr); err != nil {
+	if err := run(context.Background(), *addr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string) error {
+func run(ctx context.Context, addr string) error {
 	dispatcher, codec, err := googleapi.NewDispatcher()
 	if err != nil {
 		return err
 	}
+	// One registry for every layer of the stack: cache core, client
+	// pivot, transport, and portal all record into it, so one snapshot
+	// tells the whole story.
+	reg := obs.NewRegistry()
 	cache := core.MustNew(core.Config{
 		KeyGen:     core.NewStringKey(),
 		Store:      core.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL: time.Hour,
 		MaxEntries: 10_000,
+		Obs:        reg,
 	})
-	tr := &transport.InProcess{Handler: dispatcher}
-	opts := client.Options{RecordEvents: true, Handlers: []client.Handler{cache}}
+	tr := &transport.InProcess{Handler: dispatcher, Obs: reg}
+	opts := client.Options{RecordEvents: true, Handlers: []client.Handler{cache}, Obs: reg}
 	newCall := func(op string) *client.Call {
 		return client.NewCall(codec, tr, googleapi.Endpoint, googleapi.Namespace,
 			op, "urn:GoogleSearchAction", opts)
@@ -73,22 +85,23 @@ func run(addr string) error {
 			},
 		},
 	)
+	site.Instrument(reg, nil)
 
 	// Demonstration load: 60% of page views repeat popular queries.
 	hot := []string{"web services", "response caching", "soap performance"}
 	for _, q := range hot {
-		if _, err := site.Render(q); err != nil {
+		if _, err := site.RenderContext(ctx, q); err != nil {
 			return err
 		}
 	}
-	res, err := loadgen.Run(loadgen.Config{
+	res, err := loadgen.RunContext(ctx, loadgen.Config{
 		Concurrency: 4,
 		Requests:    400,
 		HitRatio:    0.6,
 		HotQueries:  hot,
 		MissQuery:   func(i int) string { return fmt.Sprintf("unique query %d", i) },
 		Do: func(q string) error {
-			_, err := site.Render(q)
+			_, err := site.RenderContext(ctx, q)
 			return err
 		},
 	})
@@ -99,11 +112,29 @@ func run(addr string) error {
 	stats := cache.Stats()
 	fmt.Printf("cache: %d hits / %d misses (ratio %.0f%%), %d entries, %d bytes\n",
 		stats.Hits, stats.Misses, 100*stats.HitRatio(), stats.Entries, stats.Bytes)
+	printStages(reg.Snapshot())
 
 	if addr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", site)
+		mux.Handle(obs.DebugPath, obs.Handler(reg))
 		fmt.Printf("serving portal at http://%s/?q=your+query\n", addr)
-		srv := &http.Server{Addr: addr, Handler: site, ReadHeaderTimeout: 10 * time.Second}
+		fmt.Printf("observability at http://%s%s\n", addr, obs.DebugPath)
+		srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 		return srv.ListenAndServe()
 	}
 	return nil
+}
+
+// printStages summarizes the per-stage latency series of a snapshot.
+func printStages(snap obs.Snapshot) {
+	fmt.Println("stage latencies (p50/p99):")
+	for _, st := range snap.Stages {
+		label := string(st.Stage)
+		if st.Representation != "" {
+			label += " [" + st.Representation + "]"
+		}
+		fmt.Printf("  %-40s n=%-6d p50=%-10s p99=%s\n", label, st.Latency.Count,
+			time.Duration(st.Latency.P50NS), time.Duration(st.Latency.P99NS))
+	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -223,7 +224,7 @@ func TestCSVFigure(t *testing.T) {
 }
 
 func TestFigureUnknownOperation(t *testing.T) {
-	if _, err := Figure(FigureConfig{Operation: "noSuchOp", RequestsPerPoint: 1}); err == nil {
+	if _, err := FigureContext(context.Background(), FigureConfig{Operation: "noSuchOp", RequestsPerPoint: 1}); err == nil {
 		t.Error("unknown operation accepted")
 	}
 }
@@ -232,7 +233,7 @@ func TestFigureSpellingOperation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("portal sweep is slow")
 	}
-	series, err := Figure(FigureConfig{
+	series, err := FigureContext(context.Background(), FigureConfig{
 		Concurrency:      1,
 		RequestsPerPoint: 20,
 		HitRatios:        []float64{1.0},
@@ -252,7 +253,7 @@ func TestFigureSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("portal sweep is slow")
 	}
-	series, err := Figure(FigureConfig{
+	series, err := FigureContext(context.Background(), FigureConfig{
 		Concurrency:      2,
 		RequestsPerPoint: 40,
 		HitRatios:        []float64{0, 1.0},

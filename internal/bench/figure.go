@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/googleapi"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/portal"
 	"repro/internal/soap"
 	"repro/internal/transport"
@@ -81,6 +82,12 @@ type FigureConfig struct {
 	// doGoogleSearch (the paper's choice — the spread between methods
 	// is largest there).
 	Operation string
+	// Obs, when non-nil, is shared by every per-point stack (cache,
+	// client, transport, portal), so a sweep's stage latencies and
+	// hit/miss counters accumulate into one registry for inspection.
+	// Note that the sweep builds a fresh cache per point; the merged
+	// core counters describe the whole sweep, not one cell.
+	Obs *obs.Registry
 }
 
 // Figure runs the portal-site scenario sweep of Section 5.2: a portal
@@ -146,11 +153,12 @@ func figurePoint(ctx context.Context, cfg FigureConfig, spec StoreSpec, ratio fl
 		KeyGen:     core.NewStringKey(),
 		Store:      spec.Build(codec.Registry(), codec),
 		DefaultTTL: time.Hour,
+		Obs:        cfg.Obs,
 	})
-	call := client.NewCall(codec, &transport.InProcess{Handler: disp},
+	call := client.NewCall(codec, &transport.InProcess{Handler: disp, Obs: cfg.Obs},
 		googleapi.Endpoint, googleapi.Namespace, cfg.Operation,
 		"urn:GoogleSearchAction",
-		client.Options{RecordEvents: true, Handlers: []client.Handler{cache}})
+		client.Options{RecordEvents: true, Handlers: []client.Handler{cache}, Obs: cfg.Obs})
 
 	params, _ := operationParams(cfg.Operation)
 	site := portal.New(portal.Backend{
@@ -158,6 +166,9 @@ func figurePoint(ctx context.Context, cfg FigureConfig, spec StoreSpec, ratio fl
 		Call:   call,
 		Params: params,
 	})
+	if cfg.Obs != nil {
+		site.Instrument(cfg.Obs, nil)
+	}
 
 	hot := make([]string, cfg.HotQueries)
 	for i := range hot {

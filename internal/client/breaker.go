@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/soap"
 )
 
@@ -89,6 +90,14 @@ type BreakerConfig struct {
 	IsFailure func(error) bool
 	// Clock overrides time.Now, for tests.
 	Clock func() time.Time
+	// Obs, when non-nil, publishes per-endpoint breaker state gauges
+	// and the breaker.rejections / breaker.trips counters into the
+	// registry (the /debug/wscache "breakers" section). All recording
+	// is nil-safe, so leaving it nil costs nothing.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives an OnStage callback per state
+	// transition (op = endpoint, representation = new state name).
+	Tracer obs.Tracer
 }
 
 // Breaker is a per-endpoint circuit breaker installed in the client
@@ -195,20 +204,40 @@ func (b *Breaker) admit(endpoint string) error {
 	case BreakerOpen:
 		retryAt := ep.openedAt.Add(b.cfg.OpenFor)
 		if now.Before(retryAt) {
-			return &BreakerOpenError{Endpoint: endpoint, RetryAfter: retryAt}
+			return b.reject(endpoint, retryAt)
 		}
 		// Open interval elapsed: start probing.
-		ep.state = BreakerHalfOpen
+		b.transition(endpoint, ep, BreakerHalfOpen)
 		ep.probes = 0
 		fallthrough
 	case BreakerHalfOpen:
 		if ep.probes >= b.cfg.HalfOpenProbes {
-			return &BreakerOpenError{Endpoint: endpoint, RetryAfter: ep.openedAt.Add(b.cfg.OpenFor)}
+			return b.reject(endpoint, ep.openedAt.Add(b.cfg.OpenFor))
 		}
 		ep.probes++
 		return nil
 	}
 	return nil
+}
+
+// reject builds the open-breaker error and counts the rejection.
+func (b *Breaker) reject(endpoint string, retryAt time.Time) error {
+	err := &BreakerOpenError{Endpoint: endpoint, RetryAfter: retryAt}
+	b.cfg.Obs.Add("breaker.rejections", 1)
+	if b.cfg.Tracer != nil {
+		b.cfg.Tracer.OnStage(endpoint, obs.StageBreaker, "rejected", 0, err)
+	}
+	return err
+}
+
+// transition moves an endpoint's breaker to state, publishing the new
+// state to the registry gauge and tracer; callers hold b.mu.
+func (b *Breaker) transition(endpoint string, ep *endpointBreaker, state BreakerState) {
+	ep.state = state
+	b.cfg.Obs.SetBreaker(endpoint, state.String())
+	if b.cfg.Tracer != nil {
+		b.cfg.Tracer.OnStage(endpoint, obs.StageBreaker, state.String(), 0, nil)
+	}
 }
 
 // record folds an invocation outcome into the endpoint's state.
@@ -222,17 +251,17 @@ func (b *Breaker) record(endpoint string, failed bool) {
 			ep.probes--
 		}
 		if failed {
-			b.trip(ep)
+			b.trip(endpoint, ep)
 		} else {
 			// One healthy probe closes the breaker with a clean window.
-			ep.state = BreakerClosed
+			b.transition(endpoint, ep, BreakerClosed)
 			b.resetWindow(ep)
 		}
 	case BreakerClosed:
 		b.push(ep, failed)
 		if ep.filled >= b.cfg.MinSamples &&
 			float64(ep.failures)/float64(ep.filled) >= b.cfg.FailureThreshold {
-			b.trip(ep)
+			b.trip(endpoint, ep)
 		}
 	case BreakerOpen:
 		// A straggler from before the trip; the window restarts on the
@@ -247,6 +276,7 @@ func (b *Breaker) endpoint(endpoint string) *endpointBreaker {
 	if !ok {
 		ep = &endpointBreaker{window: make([]bool, b.cfg.Window)}
 		b.endpoints[endpoint] = ep
+		b.cfg.Obs.SetBreaker(endpoint, BreakerClosed.String())
 	}
 	return ep
 }
@@ -268,9 +298,10 @@ func (b *Breaker) push(ep *endpointBreaker, failed bool) {
 }
 
 // trip opens the breaker; callers hold b.mu.
-func (b *Breaker) trip(ep *endpointBreaker) {
-	ep.state = BreakerOpen
+func (b *Breaker) trip(endpoint string, ep *endpointBreaker) {
+	b.transition(endpoint, ep, BreakerOpen)
 	ep.openedAt = b.cfg.Clock()
+	b.cfg.Obs.Add("breaker.trips", 1)
 	b.resetWindow(ep)
 }
 

@@ -15,7 +15,10 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"time"
 
+	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/sax"
 	"repro/internal/soap"
 	"repro/internal/transport"
@@ -113,6 +116,20 @@ type Options struct {
 	// handler sees the breaker's rejection as an ordinary backend error
 	// it can degrade from (stale-on-error).
 	Breaker *Breaker
+
+	// Obs, when non-nil, records per-handler and pivot stage latencies
+	// (handler, serialize, send, parse) into the registry. Share the
+	// registry with the cache's core.Config.Obs for one coherent
+	// /debug/wscache snapshot. nil disables stage timing for this Call.
+	Obs *obs.Registry
+
+	// Tracer, when non-nil, receives an OnStage callback per recorded
+	// stage. Stage timing is on when either Obs or Tracer is set;
+	// otherwise the invocation path reads no clock.
+	Tracer obs.Tracer
+
+	// Clock overrides time.Now for stage timing, for tests.
+	Clock func() time.Time
 }
 
 // Call invokes one operation of a remote service.
@@ -124,6 +141,13 @@ type Call struct {
 	operation  string
 	soapAction string
 	opts       Options
+
+	// handlerNames label per-handler stage series, resolved once from
+	// the handler types. timed reports whether stage recording is on;
+	// when false the invocation path never reads the clock.
+	handlerNames []string
+	timed        bool
+	now          func() time.Time
 }
 
 // NewCall builds a Call. codec must have all complex types of the
@@ -132,14 +156,30 @@ func NewCall(codec *soap.Codec, tr transport.Transport, endpoint, namespace, ope
 	if opts.Retry != nil {
 		tr = transport.NewRetry(tr, *opts.Retry)
 	}
+	names := make([]string, len(opts.Handlers))
+	for i, h := range opts.Handlers {
+		names[i] = fmt.Sprintf("%T", h)
+	}
 	return &Call{
-		codec:      codec,
-		tr:         tr,
-		endpoint:   endpoint,
-		namespace:  namespace,
-		operation:  operation,
-		soapAction: soapAction,
-		opts:       opts,
+		codec:        codec,
+		tr:           tr,
+		endpoint:     endpoint,
+		namespace:    namespace,
+		operation:    operation,
+		soapAction:   soapAction,
+		opts:         opts,
+		handlerNames: names,
+		timed:        opts.Obs != nil || opts.Tracer != nil,
+		now:          clock.Or(opts.Clock),
+	}
+}
+
+// observe records one stage into the registry and tracer; callers gate
+// on c.timed.
+func (c *Call) observe(op string, stage obs.Stage, rep string, d time.Duration, err error) {
+	c.opts.Obs.Stage(stage, rep, d, err)
+	if c.opts.Tracer != nil {
+		c.opts.Tracer.OnStage(op, stage, rep, d, err)
 	}
 }
 
@@ -200,8 +240,21 @@ func (c *Call) run(ictx *Context) error {
 	for i := len(c.opts.Handlers) - 1; i >= 0; i-- {
 		h := c.opts.Handlers[i]
 		next := chain
-		chain = func(ic *Context) error {
-			return h.HandleInvoke(ic, next)
+		if c.timed {
+			// Per-handler timing is inclusive of everything below the
+			// handler in the chain (its next calls), so the outermost
+			// series approximates whole-invocation latency.
+			name := c.handlerNames[i]
+			chain = func(ic *Context) error {
+				start := c.now()
+				err := h.HandleInvoke(ic, next)
+				c.observe(ic.Operation, obs.StageHandler, name, c.now().Sub(start), err)
+				return err
+			}
+		} else {
+			chain = func(ic *Context) error {
+				return h.HandleInvoke(ic, next)
+			}
 		}
 	}
 	return chain(ictx)
@@ -209,18 +262,33 @@ func (c *Call) run(ictx *Context) error {
 
 // pivot is the terminal handler: serialize, send, parse, deserialize.
 func (c *Call) pivot(ictx *Context) error {
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
 	reqXML, err := c.codec.EncodeRequest(ictx.Namespace, ictx.Operation, ictx.Params)
+	if c.timed {
+		c.observe(ictx.Operation, obs.StageSerialize, "", c.now().Sub(start), err)
+	}
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", ictx.Operation, err)
 	}
 	ictx.RequestXML = reqXML
 
+	if c.timed {
+		start = c.now()
+	}
 	resp, err := c.tr.Send(ictx.Ctx, &transport.Request{
 		Endpoint:   ictx.Endpoint,
 		SOAPAction: ictx.SOAPAction,
 		Body:       reqXML,
 		Header:     ictx.RequestHeader,
 	})
+	if c.timed {
+		// Send time includes the retrying transport's attempts and
+		// backoff sleeps when Options.Retry is set.
+		c.observe(ictx.Operation, obs.StageSend, "", c.now().Sub(start), err)
+	}
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", ictx.Operation, err)
 	}
@@ -233,7 +301,15 @@ func (c *Call) pivot(ictx *Context) error {
 	}
 	ictx.ResponseXML = resp.Body
 
+	if c.timed {
+		start = c.now()
+	}
 	msg, events, err := c.decode(resp.Body)
+	if c.timed {
+		// Parse time covers tokenization and deserialization (one
+		// pass, teed when RecordEvents is on).
+		c.observe(ictx.Operation, obs.StageParse, "", c.now().Sub(start), err)
+	}
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", ictx.Operation, err)
 	}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -77,10 +78,26 @@ type Config struct {
 	Coalesce bool
 	// Clock overrides time.Now, for tests.
 	Clock func() time.Time
+	// Obs, when non-nil, is the registry this cache records its metrics
+	// into: the Stats counters, per-operation and per-representation
+	// hit/miss counts, and per-stage latency histograms (keygen, lookup,
+	// copy-in/copy-out, backend invoke, coalesced waits). nil defaults
+	// to a private registry (obs.Or): counters are still kept — Stats
+	// reads them — but latency histograms are skipped and nothing is
+	// served. Share one registry across the layers of a stack (cache,
+	// client options, transport, breaker) for a single /debug/wscache
+	// page; do not share one between caches whose Stats must stay
+	// separate.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives an OnStage callback per recorded
+	// stage, for log/trace integration. nil disables tracing and costs
+	// nothing on the hot path.
+	Tracer obs.Tracer
 }
 
-// Stats are cumulative cache counters. Retrieve a consistent snapshot
-// with Cache.Stats.
+// Stats are cumulative cache counters, read from the cache's metrics
+// registry by Cache.Stats. Bytes and Entries describe the current
+// structure; the rest are monotonic event counts.
 type Stats struct {
 	Hits          int64
 	Misses        int64
@@ -160,6 +177,16 @@ type Cache struct {
 	coalesce       bool
 	now            func() time.Time
 
+	// reg is the metrics registry (never nil; Config.Obs or a private
+	// one). m holds its counters backing Stats, resolved once. timed
+	// reports whether stage latency recording is on: only when the
+	// caller supplied a registry or tracer, so the default path pays no
+	// clock reads.
+	reg    *obs.Registry
+	m      cacheCounters
+	tracer obs.Tracer
+	timed  bool
+
 	// flights tracks in-flight miss invocations for coalescing; it has
 	// its own lock so followers can wait without holding c.mu.
 	flightMu sync.Mutex
@@ -171,8 +198,37 @@ type Cache struct {
 	// nil-terminated both ways.
 	head, tail *entry
 	bytes      int
-	stats      Stats
-	opStats    map[string]*OperationStats
+}
+
+// cacheCounters are the registry counters backing Stats, one per field,
+// resolved once at construction so the hot path never hashes a name.
+type cacheCounters struct {
+	hits          *obs.Counter
+	misses        *obs.Counter
+	stores        *obs.Counter
+	expirations   *obs.Counter
+	evictions     *obs.Counter
+	revalidations *obs.Counter
+	staleServes   *obs.Counter
+	coalesced     *obs.Counter
+	errors        *obs.Counter
+	bypass        *obs.Counter
+}
+
+// newCacheCounters resolves the Stats counters in reg.
+func newCacheCounters(reg *obs.Registry) cacheCounters {
+	return cacheCounters{
+		hits:          reg.Counter("core.hits"),
+		misses:        reg.Counter("core.misses"),
+		stores:        reg.Counter("core.stores"),
+		expirations:   reg.Counter("core.expirations"),
+		evictions:     reg.Counter("core.evictions"),
+		revalidations: reg.Counter("core.revalidations"),
+		staleServes:   reg.Counter("core.stale_serves"),
+		coalesced:     reg.Counter("core.coalesced"),
+		errors:        reg.Counter("core.errors"),
+		bypass:        reg.Counter("core.bypass"),
+	}
 }
 
 var _ client.Handler = (*Cache)(nil)
@@ -186,6 +242,7 @@ func New(cfg Config) (*Cache, error) {
 		return nil, fmt.Errorf("core: Config.Store is required")
 	}
 	now := clock.Or(cfg.Clock)
+	reg := obs.Or(cfg.Obs)
 	return &Cache{
 		keygen:         cfg.KeyGen,
 		store:          cfg.Store,
@@ -198,9 +255,12 @@ func New(cfg Config) (*Cache, error) {
 		staleIfError:   cfg.StaleIfError,
 		coalesce:       cfg.Coalesce,
 		now:            now,
+		reg:            reg,
+		m:              newCacheCounters(reg),
+		tracer:         cfg.Tracer,
+		timed:          cfg.Obs != nil || cfg.Tracer != nil,
 		flights:        make(map[string]*flight),
 		table:          make(map[string]*entry),
-		opStats:        make(map[string]*OperationStats),
 	}, nil
 }
 
@@ -214,42 +274,59 @@ func MustNew(cfg Config) *Cache {
 	return c
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, read from the
+// metrics registry. Each counter is individually exact; a snapshot
+// taken while invocations are in flight may straddle an update
+// (Bytes/Entries are captured together under the structural lock).
 func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:          c.m.hits.Load(),
+		Misses:        c.m.misses.Load(),
+		Stores:        c.m.stores.Load(),
+		Expirations:   c.m.expirations.Load(),
+		Evictions:     c.m.evictions.Load(),
+		Revalidations: c.m.revalidations.Load(),
+		StaleServes:   c.m.staleServes.Load(),
+		Coalesced:     c.m.coalesced.Load(),
+		Errors:        c.m.errors.Load(),
+		Bypass:        c.m.bypass.Load(),
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
 	s.Bytes = c.bytes
 	s.Entries = len(c.table)
+	c.mu.Unlock()
 	return s
 }
 
-// StatsByOperation returns a snapshot of per-operation counters.
+// StatsByOperation returns a snapshot of per-operation counters, read
+// from the metrics registry.
 func (c *Cache) StatsByOperation() map[string]OperationStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]OperationStats, len(c.opStats))
-	for op, s := range c.opStats {
-		out[op] = *s
+	snap := c.reg.Snapshot()
+	out := make(map[string]OperationStats, len(snap.Operations))
+	for op, s := range snap.Operations {
+		out[op] = OperationStats{
+			Hits:   s.Hits,
+			Misses: s.Misses,
+			Stores: s.Stores,
+			Bypass: s.Bypass,
+		}
 	}
 	return out
 }
 
-// countOpLocked bumps a per-operation counter; callers hold c.mu.
-func (c *Cache) countOpLocked(op string, f func(*OperationStats)) {
-	s, ok := c.opStats[op]
-	if !ok {
-		s = &OperationStats{}
-		c.opStats[op] = s
-	}
-	f(s)
-}
+// Obs returns the cache's metrics registry: the one supplied via
+// Config.Obs, or the private default. Serve it with obs.Handler to get
+// the /debug/wscache endpoint for a cache that was not built with a
+// shared registry.
+func (c *Cache) Obs() *obs.Registry { return c.reg }
 
-// countOp bumps a per-operation counter under the lock.
-func (c *Cache) countOp(op string, f func(*OperationStats)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.countOpLocked(op, f)
+// observe records one timed stage into the registry histograms and the
+// tracer; callers gate on c.timed so the untimed path pays nothing.
+func (c *Cache) observe(op string, stage obs.Stage, rep string, d time.Duration, err error) {
+	c.reg.Stage(stage, rep, d, err)
+	if c.tracer != nil {
+		c.tracer.OnStage(op, stage, rep, d, err)
+	}
 }
 
 // Len returns the current number of entries.
@@ -273,28 +350,33 @@ func (c *Cache) Clear() {
 func (c *Cache) HandleInvoke(ictx *client.Context, next client.Invoker) error {
 	op := c.policy.For(ictx.Operation)
 	if !op.Cacheable {
-		c.mu.Lock()
-		c.stats.Bypass++
-		c.countOpLocked(ictx.Operation, func(s *OperationStats) { s.Bypass++ })
-		c.mu.Unlock()
+		c.m.bypass.Add(1)
+		c.reg.Op(ictx.Operation).Bypass.Add(1)
 		return next(ictx)
 	}
 
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
 	key, err := c.keygen.Key(ictx)
+	if c.timed {
+		c.observe(ictx.Operation, obs.StageKeyGen, c.keygen.Name(), c.now().Sub(start), err)
+	}
 	if err != nil {
 		// Fail open: an ungeneratable key means this request cannot be
 		// cached, not that it cannot be served.
-		c.count(func(s *Stats) { s.Errors++ })
+		c.m.errors.Add(1)
 		return next(ictx)
 	}
 
-	if result, ok := c.lookup(key); ok {
+	if result, ok := c.lookup(key, ictx.Operation); ok {
 		ictx.Result = result
 		ictx.CacheHit = true
-		c.countOp(ictx.Operation, func(s *OperationStats) { s.Hits++ })
+		c.reg.Op(ictx.Operation).Hits.Add(1)
 		return nil
 	}
-	c.countOp(ictx.Operation, func(s *OperationStats) { s.Misses++ })
+	c.reg.Op(ictx.Operation).Misses.Add(1)
 
 	if c.coalesce {
 		return c.invokeCoalesced(key, op, ictx, next)
@@ -318,8 +400,18 @@ func (c *Cache) invokeMiss(key string, op OperationPolicy, ictx *client.Context,
 		}
 	}
 
-	if err := next(ictx); err != nil {
-		if result, ok := c.staleOnError(key, err); ok {
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
+	err := next(ictx)
+	if c.timed {
+		// Invoke time covers everything below the cache in the handler
+		// chain: serialize, transport (with retries), parse, deserialize.
+		c.observe(ictx.Operation, obs.StageInvoke, "", c.now().Sub(start), err)
+	}
+	if err != nil {
+		if result, ok := c.staleOnError(key, ictx.Operation, err); ok {
 			ictx.Result = result
 			ictx.CacheHit = true
 			ictx.ServedStale = true
@@ -376,13 +468,39 @@ func (c *Cache) refreshStale(key string, op OperationPolicy, ictx *client.Contex
 	e.ttl = ttl
 	c.moveToFrontLocked(e)
 	payload, store := e.payload, e.store
-	c.stats.Revalidations++
-	c.stats.Hits++
 	c.mu.Unlock()
+	c.m.revalidations.Add(1)
+	c.m.hits.Add(1)
 
+	result, ok := c.loadPayload(ictx.Operation, store, payload)
+	if !ok {
+		c.m.errors.Add(1)
+		return nil, false
+	}
+	return result, true
+}
+
+// loadPayload materializes a stored payload, timing the copy-out stage
+// and counting a per-representation hit (serve) or error.
+func (c *Cache) loadPayload(op string, store ValueStore, payload any) (any, bool) {
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
 	result, err := store.Load(payload)
+	if c.timed {
+		// Per-representation counters feed only the observability
+		// snapshot (Stats never reads them), so like stage timing they
+		// are recorded only on instrumented caches — this keeps the
+		// default hit path free of the registry lookup.
+		c.observe(op, obs.StageCopyOut, store.Name(), c.now().Sub(start), err)
+		if err != nil {
+			c.reg.Rep(store.Name()).Errors.Add(1)
+		} else {
+			c.reg.Rep(store.Name()).Hits.Add(1)
+		}
+	}
 	if err != nil {
-		c.count(func(s *Stats) { s.Errors++ })
 		return nil, false
 	}
 	return result, true
@@ -404,13 +522,20 @@ func (c *Cache) entryTTL(op OperationPolicy, ictx *client.Context) time.Duration
 }
 
 // lookup returns the materialized application object for key if a fresh
-// entry exists.
-func (c *Cache) lookup(key string) (any, bool) {
+// entry exists; op names the operation for stage attribution.
+func (c *Cache) lookup(key, op string) (any, bool) {
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
 	c.mu.Lock()
 	e, ok := c.table[key]
 	if !ok {
-		c.stats.Misses++
 		c.mu.Unlock()
+		c.m.misses.Add(1)
+		if c.timed {
+			c.observe(op, obs.StageLookup, "", c.now().Sub(start), nil)
+		}
 		return nil, false
 	}
 	if now := c.now(); e.expired(now) {
@@ -421,30 +546,36 @@ func (c *Cache) lookup(key string) (any, bool) {
 		if !c.retainStaleLocked(e, now) {
 			c.removeLocked(e)
 		}
-		c.stats.Expirations++
-		c.stats.Misses++
 		c.mu.Unlock()
+		c.m.expirations.Add(1)
+		c.m.misses.Add(1)
+		if c.timed {
+			c.observe(op, obs.StageLookup, "", c.now().Sub(start), nil)
+		}
 		return nil, false
 	}
 	c.moveToFrontLocked(e)
 	payload, store := e.payload, e.store
-	c.stats.Hits++
 	c.mu.Unlock()
+	c.m.hits.Add(1)
+	if c.timed {
+		c.observe(op, obs.StageLookup, "", c.now().Sub(start), nil)
+	}
 
 	// Materialize outside the lock: loads can be arbitrarily expensive
 	// (XML parse for the XML-message representation).
-	result, err := store.Load(payload)
-	if err != nil {
+	result, ok := c.loadPayload(op, store, payload)
+	if !ok {
 		// A payload that no longer loads is dropped; report a miss so
 		// the pivot refills the entry.
 		c.mu.Lock()
 		if cur, ok := c.table[key]; ok && cur == e {
 			c.removeLocked(cur)
 		}
-		c.stats.Errors++
-		c.stats.Hits--
-		c.stats.Misses++
 		c.mu.Unlock()
+		c.m.errors.Add(1)
+		c.m.hits.Add(-1)
+		c.m.misses.Add(1)
 		return nil, false
 	}
 	return result, true
@@ -456,9 +587,19 @@ func (c *Cache) fill(key string, op OperationPolicy, ictx *client.Context) {
 	if op.Store != nil {
 		store = op.Store
 	}
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
 	payload, size, err := store.Store(ictx)
+	if c.timed {
+		c.observe(ictx.Operation, obs.StageCopyIn, store.Name(), c.now().Sub(start), err)
+	}
 	if err != nil {
-		c.count(func(s *Stats) { s.Errors++ })
+		c.m.errors.Add(1)
+		if c.timed {
+			c.reg.Rep(store.Name()).Errors.Add(1)
+		}
 		return
 	}
 
@@ -488,16 +629,14 @@ func (c *Cache) fill(key string, op OperationPolicy, ictx *client.Context) {
 	c.table[key] = e
 	c.pushFrontLocked(e)
 	c.bytes += size
-	c.stats.Stores++
-	c.countOpLocked(ictx.Operation, func(s *OperationStats) { s.Stores++ })
+	c.m.stores.Add(1)
+	c.reg.Op(ictx.Operation).Stores.Add(1)
+	if c.timed {
+		// A fill is the per-representation "miss": the entry was
+		// populated with this representation.
+		c.reg.Rep(store.Name()).Misses.Add(1)
+	}
 	c.evictLocked()
-}
-
-// count mutates stats under the lock.
-func (c *Cache) count(f func(*Stats)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	f(&c.stats)
 }
 
 // evictLocked removes least-recently-used entries until the cache is
@@ -511,7 +650,7 @@ func (c *Cache) evictLocked() {
 		}
 		victim := c.tail
 		c.removeLocked(victim)
-		c.stats.Evictions++
+		c.m.evictions.Add(1)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/obs"
 	"repro/internal/soap"
 )
 
@@ -49,21 +50,31 @@ func (c *Cache) invokeCoalesced(key string, op OperationPolicy, ictx *client.Con
 // followFlight waits for the flight leader and serves the follower's
 // invocation from the leader's outcome.
 func (c *Cache) followFlight(f *flight, key string, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
 	if ictx.Ctx != nil {
 		select {
 		case <-f.done:
 		case <-ictx.Ctx.Done():
+			if c.timed {
+				c.observe(ictx.Operation, obs.StageCoalesceWait, "", c.now().Sub(start), ictx.Ctx.Err())
+			}
 			return ictx.Ctx.Err()
 		}
 	} else {
 		<-f.done
 	}
-	c.count(func(s *Stats) { s.Coalesced++ })
+	if c.timed {
+		c.observe(ictx.Operation, obs.StageCoalesceWait, "", c.now().Sub(start), f.err)
+	}
+	c.m.coalesced.Add(1)
 
 	if f.err != nil {
 		// The leader failed. The follower is as entitled to degraded
 		// serving as the leader was; otherwise it shares the error.
-		if result, ok := c.staleOnError(key, f.err); ok {
+		if result, ok := c.staleOnError(key, ictx.Operation, f.err); ok {
 			ictx.Result = result
 			ictx.CacheHit = true
 			ictx.ServedStale = true
@@ -71,10 +82,10 @@ func (c *Cache) followFlight(f *flight, key string, op OperationPolicy, ictx *cl
 		}
 		return f.err
 	}
-	if result, ok := c.lookup(key); ok {
+	if result, ok := c.lookup(key, ictx.Operation); ok {
 		ictx.Result = result
 		ictx.CacheHit = true
-		c.countOp(ictx.Operation, func(s *OperationStats) { s.Hits++ })
+		c.reg.Op(ictx.Operation).Hits.Add(1)
 		return nil
 	}
 	// The leader succeeded but left nothing loadable (uncacheable
@@ -87,7 +98,7 @@ func (c *Cache) followFlight(f *flight, key string, op OperationPolicy, ictx *cl
 // window after a backend failure. SOAP faults are excluded: a fault is
 // an application-level answer from a live backend, and masking it with
 // stale data would change program behaviour, not availability.
-func (c *Cache) staleOnError(key string, err error) (any, bool) {
+func (c *Cache) staleOnError(key, op string, err error) (any, bool) {
 	if c.staleIfError <= 0 {
 		return nil, false
 	}
@@ -112,12 +123,12 @@ func (c *Cache) staleOnError(key string, err error) (any, bool) {
 	}
 	c.moveToFrontLocked(e)
 	payload, store := e.payload, e.store
-	c.stats.StaleServes++
 	c.mu.Unlock()
+	c.m.staleServes.Add(1)
 
-	result, loadErr := store.Load(payload)
-	if loadErr != nil {
-		c.count(func(s *Stats) { s.Errors++ })
+	result, ok := c.loadPayload(op, store, payload)
+	if !ok {
+		c.m.errors.Add(1)
 		return nil, false
 	}
 	return result, true

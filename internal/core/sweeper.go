@@ -96,7 +96,7 @@ func (c *Cache) SweepExpired() int {
 		next := e.next
 		if e.expired(now) && !c.withinStaleWindow(e, now) {
 			c.removeLocked(e)
-			c.stats.Expirations++
+			c.m.expirations.Add(1)
 			removed++
 		}
 		e = next

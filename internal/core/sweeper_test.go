@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -86,7 +87,7 @@ func TestSweeperLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := NewSweeper(c, 5*time.Millisecond)
+	s := NewSweeperContext(context.Background(), c, 5*time.Millisecond)
 	mu.Lock()
 	now = now.Add(time.Hour) // everything expired
 	mu.Unlock()
@@ -104,6 +105,6 @@ func TestSweeperLifecycle(t *testing.T) {
 func TestSweeperDefaultInterval(t *testing.T) {
 	f := newFixture(t)
 	c := newCache(t, f, nil)
-	s := NewSweeper(c, 0)
+	s := NewSweeperContext(context.Background(), c, 0)
 	s.Shutdown()
 }

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// DebugPath is the conventional mount point for Handler.
+const DebugPath = "/debug/wscache"
+
+// Handler serves the registry's snapshot as indented JSON — the
+// /debug/wscache endpoint. GET (and HEAD) only. A nil registry serves
+// an empty snapshot, so wiring can be unconditional.
+//
+//	mux.Handle(obs.DebugPath, obs.Handler(reg))
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write(append(body, '\n'))
+	})
+}

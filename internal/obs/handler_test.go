@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerServesSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	op := r.Op("doGoogleSearch")
+	op.Hits.Add(3)
+	op.Misses.Add(1)
+	r.Rep("DOM tree").Hits.Add(2)
+	r.Stage(StageLookup, "", 5*time.Microsecond, nil)
+	r.Add("transport.bytes_sent", 1234)
+	r.SetBreaker("http://backend.example/", "open")
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + DebugPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+
+	var snap struct {
+		Operations map[string]struct {
+			Hits     int64   `json:"hits"`
+			Misses   int64   `json:"misses"`
+			HitRatio float64 `json:"hit_ratio"`
+		} `json:"operations"`
+		Representations map[string]struct {
+			Hits int64 `json:"hits"`
+		} `json:"representations"`
+		Stages []struct {
+			Stage   string `json:"stage"`
+			Latency struct {
+				Count int64 `json:"count"`
+				P50NS int64 `json:"p50_ns"`
+			} `json:"latency"`
+		} `json:"stages"`
+		Counters map[string]int64  `json:"counters"`
+		Breakers map[string]string `json:"breakers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	got := snap.Operations["doGoogleSearch"]
+	if got.Hits != 3 || got.Misses != 1 || got.HitRatio != 0.75 {
+		t.Errorf("operation snapshot = %+v", got)
+	}
+	if snap.Representations["DOM tree"].Hits != 2 {
+		t.Errorf("representation snapshot = %+v", snap.Representations)
+	}
+	if len(snap.Stages) != 1 || snap.Stages[0].Stage != string(StageLookup) ||
+		snap.Stages[0].Latency.Count != 1 || snap.Stages[0].Latency.P50NS <= 0 {
+		t.Errorf("stages = %+v", snap.Stages)
+	}
+	if snap.Counters["transport.bytes_sent"] != 1234 {
+		t.Errorf("counters = %+v", snap.Counters)
+	}
+	if snap.Breakers["http://backend.example/"] != "open" {
+		t.Errorf("breakers = %+v", snap.Breakers)
+	}
+}
+
+func TestHandlerMethodNotAllowed(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+DebugPath, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+		t.Errorf("Allow = %q", allow)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200 (empty snapshot)", resp.StatusCode)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of histogram buckets. Bucket i counts
+// observations with d ≤ 1µs·2^i; the last bucket is the overflow
+// (everything above ~2.1s). 23 fixed buckets span the whole range of
+// interest — sub-microsecond copy-outs to multi-second backend
+// invocations — with no allocation and no locking.
+const histBuckets = 23
+
+// BucketBound returns the inclusive upper bound of bucket i, or a
+// negative duration for the overflow bucket.
+func BucketBound(i int) time.Duration {
+	if i < 0 || i >= histBuckets-1 {
+		return -1
+	}
+	return time.Microsecond << i
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d ≤ 1µs·2^i, clamped to the overflow bucket.
+func bucketIndex(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	// Ceiling microseconds, then ceil(log2): Len64(x-1) is the smallest
+	// i with x ≤ 2^i for x ≥ 1.
+	us := (uint64(d) + 999) / 1000
+	i := bits.Len64(us - 1)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// use: one atomic add per observation, power-of-two microsecond bucket
+// bounds, running count and sum for the mean. The zero value is ready;
+// all methods are nil-receiver safe.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot captures the histogram for reporting. Concurrent Observes
+// may straddle the capture; totals are exact once writers quiesce.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sum.Load()
+	if s.Count > 0 {
+		s.MeanNS = s.SumNS / s.Count
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, Bucket{LeNS: int64(BucketBound(i)), Count: n})
+	}
+	s.P50NS = s.quantile(0.50)
+	s.P90NS = s.quantile(0.90)
+	s.P99NS = s.quantile(0.99)
+	return s
+}
+
+// HistogramSnapshot is the JSON form of a Histogram: cumulative count
+// and sum, approximate quantiles, and the non-empty buckets.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	SumNS   int64    `json:"sum_ns"`
+	MeanNS  int64    `json:"mean_ns"`
+	P50NS   int64    `json:"p50_ns"`
+	P90NS   int64    `json:"p90_ns"`
+	P99NS   int64    `json:"p99_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket. LeNS is the inclusive
+// upper bound in nanoseconds; -1 marks the overflow bucket.
+type Bucket struct {
+	LeNS  int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// quantile returns the q-quantile as the upper bound of the bucket
+// where the cumulative count crosses q·total — an over-estimate by at
+// most one bucket width (a factor of two), which is the precision the
+// fixed power-of-two layout buys. The overflow bucket reports -1
+// (unbounded).
+func (s HistogramSnapshot) quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.LeNS
+		}
+	}
+	return -1
+}

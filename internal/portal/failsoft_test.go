@@ -1,6 +1,7 @@
 package portal
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -33,7 +34,7 @@ func TestFailSoftRendersDegradedSection(t *testing.T) {
 	site := newMixedPortal(t)
 	site.SetFailSoft(true)
 
-	page, err := site.Render("resilient query")
+	page, err := site.RenderContext(context.Background(), "resilient query")
 	if err != nil {
 		t.Fatalf("fail-soft render: %v", err)
 	}
@@ -66,7 +67,7 @@ func TestFailSoftServesHTTP200(t *testing.T) {
 
 func TestFailHardRemainsDefault(t *testing.T) {
 	site := newMixedPortal(t)
-	if _, err := site.Render("q"); err == nil {
+	if _, err := site.RenderContext(context.Background(), "q"); err == nil {
 		t.Error("default (fail-hard) portal must surface backend errors")
 	}
 }

@@ -12,9 +12,12 @@ import (
 	"net/http"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/client"
+	"repro/internal/clock"
 	"repro/internal/googleapi"
+	"repro/internal/obs"
 	"repro/internal/soap"
 )
 
@@ -34,11 +37,32 @@ type Site struct {
 	backends []Backend
 	failSoft bool
 	degraded atomic.Int64
+
+	// reg/tracer record per-backend invocation latencies (the backend
+	// stage, labelled by section name) and the portal.degraded counter;
+	// set via Instrument, nil until then. timed gates clock reads.
+	reg    *obs.Registry
+	tracer obs.Tracer
+	timed  bool
+	now    func() time.Time
 }
 
 // New builds a Site over its back ends.
 func New(backends ...Backend) *Site {
-	return &Site{backends: backends}
+	return &Site{backends: backends, now: clock.Or(nil)}
+}
+
+// Instrument wires the site's observability: per-backend invocation
+// latencies land in reg's backend stage (representation = section
+// name), degraded renders in the portal.degraded counter, and tracer
+// (when non-nil) receives an OnStage callback per backend call. Share
+// reg with the backends' client and cache configs for one coherent
+// /debug/wscache snapshot. Call before serving; not safe to call
+// concurrently with Render.
+func (s *Site) Instrument(reg *obs.Registry, tracer obs.Tracer) {
+	s.reg = reg
+	s.tracer = tracer
+	s.timed = reg != nil || tracer != nil
 }
 
 // SetFailSoft switches the portal to degraded rendering: a failing
@@ -75,12 +99,24 @@ func (s *Site) RenderContext(ctx context.Context, query string) (string, error) 
 	b.WriteString(html.EscapeString(query))
 	b.WriteString("</h1>")
 	for _, be := range s.backends {
+		var start time.Time
+		if s.timed {
+			start = s.now()
+		}
 		result, err := be.Call.Invoke(ctx, be.Params(query)...)
+		if s.timed {
+			d := s.now().Sub(start)
+			s.reg.Stage(obs.StageBackend, be.Name, d, err)
+			if s.tracer != nil {
+				s.tracer.OnStage(be.Call.Operation(), obs.StageBackend, be.Name, d, err)
+			}
+		}
 		if err != nil {
 			if !s.failSoft {
 				return "", fmt.Errorf("portal: backend %s: %w", be.Name, err)
 			}
 			s.degraded.Add(1)
+			s.reg.Add("portal.degraded", 1)
 			b.WriteString(`<section class="degraded"><h2>`)
 			b.WriteString(html.EscapeString(be.Name))
 			b.WriteString("</h2><p>temporarily unavailable</p></section>")

@@ -58,7 +58,7 @@ func newPortal(t *testing.T) (*Site, *core.Cache) {
 
 func TestRenderContainsBackendResults(t *testing.T) {
 	site, _ := newPortal(t)
-	page, err := site.Render("golang caching")
+	page, err := site.RenderContext(context.Background(), "golang caching")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,14 +71,14 @@ func TestRenderContainsBackendResults(t *testing.T) {
 
 func TestRenderUsesCache(t *testing.T) {
 	site, cache := newPortal(t)
-	if _, err := site.Render("repeat me"); err != nil {
+	if _, err := site.RenderContext(context.Background(), "repeat me"); err != nil {
 		t.Fatal(err)
 	}
 	s1 := cache.Stats()
 	if s1.Stores == 0 {
 		t.Fatal("first render stored nothing")
 	}
-	if _, err := site.Render("repeat me"); err != nil {
+	if _, err := site.RenderContext(context.Background(), "repeat me"); err != nil {
 		t.Fatal(err)
 	}
 	s2 := cache.Stats()
@@ -89,11 +89,11 @@ func TestRenderUsesCache(t *testing.T) {
 
 func TestRenderDeterministicAcrossCacheHit(t *testing.T) {
 	site, _ := newPortal(t)
-	p1, err := site.Render("stable")
+	p1, err := site.RenderContext(context.Background(), "stable")
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := site.Render("stable")
+	p2, err := site.RenderContext(context.Background(), "stable")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestRenderBackendFailure(t *testing.T) {
 		Call:   failing,
 		Params: func(string) []soap.Param { return nil },
 	})
-	if _, err := site.Render("q"); err == nil {
+	if _, err := site.RenderContext(context.Background(), "q"); err == nil {
 		t.Error("expected backend error")
 	}
 	srv := httptest.NewServer(site)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/soap"
 )
 
@@ -28,13 +29,19 @@ type ResponseCache struct {
 	cacheable  func(operation string) bool
 	now        func() time.Time
 
+	// reg backs the hit/miss counters (never nil; Config.Obs or a
+	// private registry). timed gates stage latency recording, on only
+	// when the caller supplied a registry or tracer.
+	reg    *obs.Registry
+	hits   *obs.Counter
+	misses *obs.Counter
+	tracer obs.Tracer
+	timed  bool
+
 	mu    sync.Mutex
 	table map[string]*respEntry
 	head  *respEntry
 	tail  *respEntry
-
-	hits   int64
-	misses int64
 }
 
 // respEntry is one cached encoded response, a node in the LRU list.
@@ -55,6 +62,15 @@ type ResponseCacheConfig struct {
 	Cacheable func(operation string) bool
 	// Clock overrides time.Now, for tests.
 	Clock func() time.Time
+	// Obs, when non-nil, is the registry the cache records its
+	// server.hits / server.misses counters and server-side stage
+	// latencies into; nil defaults to a private registry (counters are
+	// still kept — Stats reads them — but latency histograms are
+	// skipped and nothing is served).
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives an OnStage callback per recorded
+	// stage. Stage timing is on when either Obs or Tracer is set.
+	Tracer obs.Tracer
 }
 
 // NewResponseCache wraps a Dispatcher with server-side response
@@ -65,21 +81,33 @@ func NewResponseCache(inner *Dispatcher, cfg ResponseCacheConfig) *ResponseCache
 		maxEntries = 4096
 	}
 	now := clock.Or(cfg.Clock)
+	reg := obs.Or(cfg.Obs)
 	return &ResponseCache{
 		inner:      inner,
 		ttl:        cfg.TTL,
 		maxEntries: maxEntries,
 		cacheable:  cfg.Cacheable,
 		now:        now,
+		reg:        reg,
+		hits:       reg.Counter("server.hits"),
+		misses:     reg.Counter("server.misses"),
+		tracer:     cfg.Tracer,
+		timed:      cfg.Obs != nil || cfg.Tracer != nil,
 		table:      make(map[string]*respEntry),
 	}
 }
 
-// Stats returns (hits, misses).
+// Stats returns (hits, misses), read from the metrics registry.
 func (c *ResponseCache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
+}
+
+// observe records one timed stage; callers gate on c.timed.
+func (c *ResponseCache) observe(op string, stage obs.Stage, d time.Duration, err error) {
+	c.reg.Stage(stage, "", d, err)
+	if c.tracer != nil {
+		c.tracer.OnStage(op, stage, "", d, err)
+	}
 }
 
 // Len returns the number of cached responses.
@@ -98,7 +126,7 @@ func (c *ResponseCache) Handle(request []byte) ([]byte, bool, error) {
 	}
 
 	key := string(request)
-	if body, ok := c.lookup(key); ok {
+	if body, ok := c.lookup(key, op); ok {
 		return body, false, nil
 	}
 
@@ -106,31 +134,60 @@ func (c *ResponseCache) Handle(request []byte) ([]byte, bool, error) {
 	if err != nil || isFault {
 		return body, isFault, err
 	}
-	c.store(key, body)
+	c.store(key, op, body)
 	return body, false, nil
 }
 
-// lookup returns a fresh cached response.
-func (c *ResponseCache) lookup(key string) ([]byte, bool) {
+// lookup returns a fresh cached response; op names the operation for
+// stage attribution.
+func (c *ResponseCache) lookup(key, op string) ([]byte, bool) {
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
+	body, ok := c.lookupEntry(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	if c.timed {
+		c.observe(op, obs.StageServerLookup, c.now().Sub(start), nil)
+	}
+	return body, ok
+}
+
+// lookupEntry finds a fresh entry under the lock.
+func (c *ResponseCache) lookupEntry(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.table[key]
 	if !ok {
-		c.misses++
 		return nil, false
 	}
 	if !e.expires.IsZero() && c.now().After(e.expires) {
 		c.removeLocked(e)
-		c.misses++
 		return nil, false
 	}
 	c.moveToFrontLocked(e)
-	c.hits++
 	return e.body, true
 }
 
-// store inserts a response.
-func (c *ResponseCache) store(key string, body []byte) {
+// store inserts a response; op names the operation for stage
+// attribution.
+func (c *ResponseCache) store(key, op string, body []byte) {
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
+	c.storeEntry(key, body)
+	if c.timed {
+		c.observe(op, obs.StageServerStore, c.now().Sub(start), nil)
+	}
+}
+
+// storeEntry copies and inserts the response body.
+func (c *ResponseCache) storeEntry(key string, body []byte) {
 	var expires time.Time
 	if c.ttl > 0 {
 		expires = c.now().Add(c.ttl)

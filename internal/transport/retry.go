@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"net"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // transienter lets error values declare themselves retryable without
@@ -76,6 +78,14 @@ type RetryPolicy struct {
 	// Sleep overrides the backoff wait, for tests; nil sleeps honoring
 	// ctx cancellation.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Obs, when non-nil, counts transport.attempts / transport.retries
+	// and records backoff sleeps in the backoff stage histogram. All
+	// recording is nil-safe, so leaving it nil costs nothing.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives an OnStage callback per backoff
+	// sleep (op = endpoint). Backoff durations are the computed delays,
+	// so recording them needs no clock.
+	Tracer obs.Tracer
 }
 
 // Retry wraps an inner Transport with bounded retries: exponential
@@ -108,10 +118,19 @@ func (r *Retry) Send(ctx context.Context, req *Request) (*Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := r.sleep(ctx, r.backoff(attempt)); err != nil {
+			d := r.backoff(attempt)
+			r.Policy.Obs.Add("transport.retries", 1)
+			// The backoff duration is the computed delay, recorded
+			// without a clock read.
+			r.Policy.Obs.Stage(obs.StageBackoff, "", d, nil)
+			if r.Policy.Tracer != nil {
+				r.Policy.Tracer.OnStage(req.Endpoint, obs.StageBackoff, "", d, nil)
+			}
+			if err := r.sleep(ctx, d); err != nil {
 				return nil, fmt.Errorf("transport: retry aborted after %d attempts: %w (last error: %v)", attempt, err, lastErr)
 			}
 		}
+		r.Policy.Obs.Add("transport.attempts", 1)
 		actx := ctx
 		cancel := func() {}
 		if r.Policy.AttemptTimeout > 0 {

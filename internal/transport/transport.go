@@ -15,6 +15,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Request is a transport-level SOAP request.
@@ -126,6 +128,10 @@ type HTTP struct {
 	// MaxResponseBytes bounds the response body read. Zero means
 	// DefaultMaxResponseBytes; negative means unlimited.
 	MaxResponseBytes int64
+	// Obs, when non-nil, counts transport.bytes_sent /
+	// transport.bytes_received envelope bytes. Nil-safe; leaving it nil
+	// costs nothing.
+	Obs *obs.Registry
 }
 
 var _ Transport = (*HTTP)(nil)
@@ -150,6 +156,7 @@ func (t *HTTP) Send(ctx context.Context, treq *Request) (*Response, error) {
 	req.Header.Set("Content-Type", `text/xml; charset=utf-8`)
 	req.Header.Set("SOAPAction", `"`+treq.SOAPAction+`"`)
 	copyHeader(req.Header, treq.Header)
+	t.Obs.Add("transport.bytes_sent", int64(len(treq.Body)))
 	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
@@ -159,6 +166,7 @@ func (t *HTTP) Send(ctx context.Context, treq *Request) (*Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: read response: %w", err)
 	}
+	t.Obs.Add("transport.bytes_received", int64(len(body)))
 	if !acceptableStatus(resp.StatusCode) {
 		return nil, &StatusError{Status: resp.StatusCode, Body: string(body)}
 	}
@@ -203,6 +211,9 @@ type InProcess struct {
 	// as HTTP.MaxResponseBytes: zero means DefaultMaxResponseBytes,
 	// negative means unlimited.
 	MaxResponseBytes int64
+	// Obs, when non-nil, counts transport.bytes_sent /
+	// transport.bytes_received envelope bytes, as HTTP.Obs does.
+	Obs *obs.Registry
 }
 
 var _ Transport = (*InProcess)(nil)
@@ -216,8 +227,10 @@ func (t *InProcess) Send(ctx context.Context, treq *Request) (*Response, error) 
 	req.Header.Set("Content-Type", `text/xml; charset=utf-8`)
 	req.Header.Set("SOAPAction", `"`+treq.SOAPAction+`"`)
 	copyHeader(req.Header, treq.Header)
+	t.Obs.Add("transport.bytes_sent", int64(len(treq.Body)))
 	rw := &bufferResponseWriter{header: make(http.Header), status: http.StatusOK}
 	t.Handler.ServeHTTP(rw, req)
+	t.Obs.Add("transport.bytes_received", int64(rw.buf.Len()))
 	if max := t.MaxResponseBytes; max >= 0 {
 		if max == 0 {
 			max = DefaultMaxResponseBytes
