@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test race cover bench tables figures fuzz generate clean
+.PHONY: all check build vet lint test race cover bench bench-all bench-smoke tables figures fuzz generate clean
 
 all: build vet lint test
 
@@ -37,8 +37,26 @@ cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./internal/... ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# Regenerate every table and figure of the paper's evaluation.
+# Track the cache-core perf trajectory: hit-path microbenchmarks plus
+# the portal concurrency sweep, archived as BENCH_core.json (ns/op,
+# allocs/op, parallel throughput). Compare against the checked-in file
+# before and after touching the hot path.
 bench:
+	{ $(GO) test -run NONE -bench 'BenchmarkHit' -benchmem ./internal/core && \
+	  $(GO) test -run NONE -bench 'BenchmarkPortalConcurrency' -benchtime 1x ./; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_core.json \
+	  -note "checked-in run: single-CPU container (GOMAXPROCS=1), so parallel scaling cannot manifest; pre-shard baseline on the same harness and host: HitSerial 342.4 ns/op 1 alloc/op, HitParallel/16 312.9 ns/op"
+	@cat BENCH_core.json
+
+# One-iteration CI smoke: proves the benchmarks and the JSON emitter
+# still run; the numbers are meaningless at -benchtime 1x.
+bench-smoke:
+	{ $(GO) test -run NONE -bench 'BenchmarkHit' -benchtime 1x -benchmem ./internal/core && \
+	  $(GO) test -run NONE -bench 'BenchmarkPortalConcurrency/users=4' -benchtime 1x ./; } \
+	| $(GO) run ./cmd/benchjson
+
+# Regenerate every table and figure of the paper's evaluation.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 tables:

@@ -216,6 +216,43 @@ func BenchmarkFigure3_PortalSequential(b *testing.B) { benchFigure(b, 1) }
 
 func BenchmarkFigure4_PortalConcurrent25(b *testing.B) { benchFigure(b, 25) }
 
+// BenchmarkPortalConcurrency sweeps the simulated-user count over the
+// all-hit portal scenario with the cheapest representation (pass by
+// reference), so the shared cache core — not response materialization —
+// dominates each request. Throughput is reported per point; on a
+// multi-core host the sharded core should hold it near-flat as users
+// grow, where a single global lock would flatline.
+func BenchmarkPortalConcurrency(b *testing.B) {
+	var ref []bench.StoreSpec
+	for _, s := range bench.FigureStores() {
+		if s.Name == "Pass by Reference" {
+			ref = append(ref, s)
+		}
+	}
+	if len(ref) != 1 {
+		b.Fatal("Pass by Reference store spec not found")
+	}
+	for _, users := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				series, err := bench.FigureContext(context.Background(), bench.FigureConfig{
+					Concurrency:      users,
+					RequestsPerPoint: 2000,
+					HitRatios:        []float64{1},
+					Stores:           ref,
+					HotQueries:       4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pt := series[0].Points[0]
+				b.ReportMetric(pt.Throughput, "req/s")
+				b.ReportMetric(float64(pt.AvgLatency.Nanoseconds()), "latency-ns")
+			}
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ------------------------------------------
 
 // BenchmarkAblationGobVsBinser documents why encoding/gob is not the

@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document, so benchmark runs can be archived
+// and diffed across commits (the perf trajectory of the hit path lives
+// in BENCH_core.json at the repo root).
+//
+// Usage:
+//
+//	go test -run NONE -bench BenchmarkHit -benchmem ./internal/core | benchjson -o BENCH_core.json
+//
+// Standard result lines are parsed into name, iterations, and every
+// reported metric (ns/op, B/op, allocs/op, plus custom b.ReportMetric
+// units); ops_per_sec is derived from ns/op. goos/goarch/pkg/cpu
+// header lines become document metadata. Unrecognized lines are
+// ignored, so the converter can sit at the end of any `go test` pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	OpsPerSec  float64            `json:"ops_per_sec,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op"`
+	AllocsPerOp float64           `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	GeneratedAt string            `json:"generated_at"`
+	Env         map[string]string `json:"env,omitempty"`
+	Note        string            `json:"note,omitempty"`
+	Benchmarks  []Result          `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form note recorded in the document (machine context, baseline reference)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin, *note)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	body, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	body = append(body, '\n')
+	if *out == "" {
+		os.Stdout.Write(body)
+		return
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads benchmark output and collects results and metadata.
+func parse(r *os.File, note string) (*Doc, error) {
+	doc := &Doc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Env:         map[string]string{},
+		Note:        note,
+		Benchmarks:  []Result{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			// Several packages may contribute; keep the first pkg and
+			// the shared machine facts.
+			if _, dup := doc.Env[k]; !dup {
+				doc.Env[k] = strings.TrimSpace(v)
+			}
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseResult(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseResult parses one result line:
+//
+//	BenchmarkHitParallel/16  4850193  243.0 ns/op  16 B/op  1 allocs/op
+//
+// Fields after the iteration count come in value/unit pairs.
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			res.NsPerOp = val
+			if val > 0 {
+				res.OpsPerSec = 1e9 / val
+			}
+		case "B/op":
+			res.BytesPerOp = val
+		case "allocs/op":
+			res.AllocsPerOp = val
+		default:
+			res.Metrics[unit] = val
+		}
+	}
+	if len(res.Metrics) == 0 {
+		res.Metrics = nil
+	}
+	return res, true
+}

@@ -8,6 +8,7 @@
 //
 //	portalbench -figure 3                # 1 user (no concurrency)
 //	portalbench -figure 4                # 25 concurrent users
+//	portalbench -concurrency 64          # override the figure's user count
 //	portalbench -requests 2000           # heavier run per point
 //	portalbench -figure 3 -store "Pass by Reference"
 //	portalbench -obs-dump                # print the final /debug/wscache snapshot
@@ -32,6 +33,7 @@ import (
 
 func main() {
 	figure := flag.Int("figure", 3, "figure to regenerate: 3 (sequential) or 4 (25 concurrent users)")
+	concurrency := flag.Int("concurrency", 0, "simulated users; 0 means the figure's own count (1 or 25)")
 	requests := flag.Int("requests", 1000, "portal page requests per measured point")
 	hot := flag.Int("hot", 4, "distinct pre-warmed (hot) queries")
 	storeFilter := flag.String("store", "", "run only the named cache method (substring match)")
@@ -43,6 +45,7 @@ func main() {
 
 	cfg := runCfg{
 		figure:      *figure,
+		concurrency: *concurrency,
 		requests:    *requests,
 		hot:         *hot,
 		storeFilter: *storeFilter,
@@ -60,6 +63,7 @@ func main() {
 // runCfg carries the parsed command line.
 type runCfg struct {
 	figure      int
+	concurrency int
 	requests    int
 	hot         int
 	storeFilter string
@@ -81,6 +85,10 @@ func run(cfg runCfg) error {
 		title = "Throughput and average response time with 25 concurrent accesses"
 	default:
 		return fmt.Errorf("no such figure %d (have 3 and 4)", cfg.figure)
+	}
+	if cfg.concurrency > 0 {
+		concurrency = cfg.concurrency
+		title = fmt.Sprintf("%s (concurrency %d)", title, concurrency)
 	}
 
 	stores := bench.FigureStores()

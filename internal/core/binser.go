@@ -20,7 +20,10 @@ type BinserKey struct {
 	codec *binser.Codec
 }
 
-var _ KeyGenerator = (*BinserKey)(nil)
+var (
+	_ KeyGenerator = (*BinserKey)(nil)
+	_ KeyAppender  = (*BinserKey)(nil)
+)
 
 // NewBinserKey returns the binary-serialization key strategy.
 func NewBinserKey(reg *typemap.Registry) *BinserKey {
@@ -32,21 +35,25 @@ func (k *BinserKey) Name() string { return "Binary serialization" }
 
 // Key implements KeyGenerator.
 func (k *BinserKey) Key(ictx *client.Context) (string, error) {
-	buf := make([]byte, 0, 64+32*len(ictx.Params))
-	buf = append(buf, ictx.Endpoint...)
-	buf = append(buf, 0)
-	buf = append(buf, ictx.Operation...)
+	return keyString(k, ictx)
+}
+
+// AppendKey implements KeyAppender.
+func (k *BinserKey) AppendKey(dst []byte, ictx *client.Context) ([]byte, error) {
+	dst = append(dst, ictx.Endpoint...)
+	dst = append(dst, 0)
+	dst = append(dst, ictx.Operation...)
 	var err error
 	for _, p := range ictx.Params {
-		buf = append(buf, 0)
-		buf = append(buf, p.Name...)
-		buf = append(buf, '=')
-		buf, err = k.codec.Append(buf, p.Value)
+		dst = append(dst, 0)
+		dst = append(dst, p.Name...)
+		dst = append(dst, '=')
+		dst, err = k.codec.Append(dst, p.Value)
 		if err != nil {
-			return "", fmt.Errorf("core: binser key: param %s: %w", p.Name, err)
+			return nil, fmt.Errorf("core: binser key: param %s: %w", p.Name, err)
 		}
 	}
-	return string(buf), nil
+	return dst, nil
 }
 
 // BinserStore caches the binary-serialized form of the application

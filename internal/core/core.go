@@ -22,12 +22,23 @@
 // Cloner deep copy, or a shared reference for read-only/immutable
 // objects. AutoStore picks per result type at run time, implementing
 // the optimal configuration of Section 6.
+//
+// Concurrency: the table is sharded (Config.Shards). Keys are reduced
+// to a seeded 128-bit digest; the digest routes the request to one of a
+// power-of-two number of independent shards, each owning its own lock,
+// hash table, LRU list, byte-budget slice, and in-flight coalescing
+// map. Goroutines hitting different shards never contend, so hit
+// throughput scales with cores instead of serializing on one global
+// mutex; see DESIGN.md §5d.
 package core
 
 import (
 	"fmt"
+	"hash/maphash"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
@@ -38,7 +49,9 @@ import (
 
 // Config configures a response cache.
 type Config struct {
-	// KeyGen generates cache keys; required.
+	// KeyGen generates cache keys; required. Generators that also
+	// implement KeyAppender let the cache hash the key from a pooled
+	// scratch buffer without materializing a key string per lookup.
 	KeyGen KeyGenerator
 	// Store is the default value representation; required.
 	Store ValueStore
@@ -49,10 +62,18 @@ type Config struct {
 	// a TTL. Zero means entries never expire.
 	DefaultTTL time.Duration
 	// MaxEntries bounds the number of cache entries; 0 means unbounded.
+	// The budget is sliced evenly across the shards, so eviction is
+	// per-shard LRU (approximate global LRU; see DESIGN.md §5d).
 	MaxEntries int
 	// MaxBytes bounds the estimated total payload bytes; 0 means
-	// unbounded.
+	// unbounded. Sliced across shards like MaxEntries.
 	MaxBytes int
+	// Shards is the number of independent cache shards, rounded up to a
+	// power of two. 0 picks min(64, 4×GOMAXPROCS). A cache with small
+	// MaxEntries uses fewer shards so every shard's slice of the entry
+	// budget stays at least one entry; Shards: 1 restores the exact
+	// single-table LRU semantics.
+	Shards int
 	// Revalidate enables the HTTP 1.1 consistency mechanism the paper
 	// points to (Section 3.2): expired entries whose responses carried
 	// a Last-Modified validator are kept as stale, and the next request
@@ -141,9 +162,21 @@ func (s OperationStats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// entry is one cache entry, a node in the LRU list.
+// keyDigest is the fixed-size form a cache key is reduced to: two
+// independently seeded 64-bit maphash values. The low word routes to a
+// shard; the full 128 bits are the table key, so entry lookup verifies
+// both halves and never retains a multi-KB XML-message key verbatim.
+// Two distinct keys alias only if they collide in all 128 bits under
+// both per-cache seeds — with n live keys the probability is about
+// n²/2¹²⁹, far below the error rates of the hardware the cache runs
+// on; see DESIGN.md §5d for the collision-handling rationale.
+type keyDigest struct {
+	hi, lo uint64
+}
+
+// entry is one cache entry, a node in its shard's LRU list.
 type entry struct {
-	key     string
+	digest  keyDigest
 	payload any
 	size    int
 	expires time.Time // zero means never
@@ -163,9 +196,40 @@ func (e *entry) expired(now time.Time) bool {
 	return !e.expires.IsZero() && now.After(e.expires)
 }
 
+// shard is one independent slice of the cache: its own lock, table,
+// LRU list, byte budget, and coalescing flights. Shards never take each
+// other's locks, so operations on different shards run fully in
+// parallel.
+type shard struct {
+	// limEntries and limBytes are this shard's slice of the global
+	// budgets, fixed at construction (written before the cache is
+	// published, read-only afterwards). -1 means unbounded.
+	limEntries int
+	limBytes   int
+
+	// nbytes and nentries mirror the guarded structure below; they are
+	// updated inside the critical sections but read lock-free by Stats
+	// and Len, so snapshots never contend with the hit path.
+	nbytes   atomic.Int64
+	nentries atomic.Int64
+
+	// flightMu guards flights; it is separate from mu so followers can
+	// wait on a flight without holding the structural lock.
+	flightMu sync.Mutex
+	flights  map[keyDigest]*flight
+
+	mu    sync.Mutex
+	table map[keyDigest]*entry
+	// LRU list: head is most recent, tail least recent. Sentinel-free,
+	// nil-terminated both ways.
+	head *entry
+	tail *entry
+}
+
 // Cache is the response cache. It implements client.Handler.
 type Cache struct {
 	keygen         KeyGenerator
+	keyapp         KeyAppender // non-nil when keygen supports append-style keys
 	store          ValueStore
 	policy         Policy
 	defaultTTL     time.Duration
@@ -177,6 +241,12 @@ type Cache struct {
 	coalesce       bool
 	now            func() time.Time
 
+	// seed1/seed2 are the per-cache maphash seeds behind keyDigest;
+	// shardMask selects a shard from a digest's low word.
+	seed1, seed2 maphash.Seed
+	shardMask    uint64
+	shards       []shard
+
 	// reg is the metrics registry (never nil; Config.Obs or a private
 	// one). m holds its counters backing Stats, resolved once. timed
 	// reports whether stage latency recording is on: only when the
@@ -186,18 +256,6 @@ type Cache struct {
 	m      cacheCounters
 	tracer obs.Tracer
 	timed  bool
-
-	// flights tracks in-flight miss invocations for coalescing; it has
-	// its own lock so followers can wait without holding c.mu.
-	flightMu sync.Mutex
-	flights  map[string]*flight
-
-	mu    sync.Mutex
-	table map[string]*entry
-	// LRU list: head is most recent, tail least recent. Sentinel-free,
-	// nil-terminated both ways.
-	head, tail *entry
-	bytes      int
 }
 
 // cacheCounters are the registry counters backing Stats, one per field,
@@ -233,6 +291,62 @@ func newCacheCounters(reg *obs.Registry) cacheCounters {
 
 var _ client.Handler = (*Cache)(nil)
 
+// shardCount resolves the shard count for a config: the requested (or
+// default) count rounded up to a power of two, then clamped down so a
+// bounded cache never has more shards than budget — every shard's
+// slice of MaxEntries must hold at least one entry, or keys routed to
+// a zero-budget shard could never be cached.
+func shardCount(cfg Config) int {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 4 * runtime.GOMAXPROCS(0)
+		if n > 64 {
+			n = 64
+		}
+	}
+	n = ceilPow2(n)
+	if cfg.MaxEntries > 0 && n > cfg.MaxEntries {
+		n = floorPow2(cfg.MaxEntries)
+	}
+	if cfg.MaxBytes > 0 && n > cfg.MaxBytes {
+		n = floorPow2(cfg.MaxBytes)
+	}
+	return n
+}
+
+// ceilPow2 rounds n up to the next power of two (n ≥ 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// floorPow2 rounds n down to the previous power of two (n ≥ 1).
+func floorPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p <<= 1
+	}
+	return p
+}
+
+// sliceBudget splits a global budget across n shards: shard i receives
+// total/n, with the remainder spread one-per-shard from the front so
+// the slices sum exactly to the global bound. A zero total (unbounded)
+// yields -1 (unbounded) for every shard.
+func sliceBudget(total, n, i int) int {
+	if total <= 0 {
+		return -1
+	}
+	b := total / n
+	if i < total%n {
+		b++
+	}
+	return b
+}
+
 // New builds a Cache from cfg.
 func New(cfg Config) (*Cache, error) {
 	if cfg.KeyGen == nil {
@@ -243,7 +357,8 @@ func New(cfg Config) (*Cache, error) {
 	}
 	now := clock.Or(cfg.Clock)
 	reg := obs.Or(cfg.Obs)
-	return &Cache{
+	nsh := shardCount(cfg)
+	c := &Cache{
 		keygen:         cfg.KeyGen,
 		store:          cfg.Store,
 		policy:         cfg.Policy,
@@ -255,13 +370,28 @@ func New(cfg Config) (*Cache, error) {
 		staleIfError:   cfg.StaleIfError,
 		coalesce:       cfg.Coalesce,
 		now:            now,
+		seed1:          maphash.MakeSeed(),
+		seed2:          maphash.MakeSeed(),
+		shardMask:      uint64(nsh - 1),
+		shards:         make([]shard, nsh),
 		reg:            reg,
 		m:              newCacheCounters(reg),
 		tracer:         cfg.Tracer,
 		timed:          cfg.Obs != nil || cfg.Tracer != nil,
-		flights:        make(map[string]*flight),
-		table:          make(map[string]*entry),
-	}, nil
+	}
+	if ka, ok := cfg.KeyGen.(KeyAppender); ok {
+		c.keyapp = ka
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.limEntries = sliceBudget(cfg.MaxEntries, nsh, i)
+		sh.limBytes = sliceBudget(cfg.MaxBytes, nsh, i)
+		//lint:ignore lockguard init-before-publish: the cache is not visible to any other goroutine yet
+		sh.flights = make(map[keyDigest]*flight)
+		//lint:ignore lockguard init-before-publish: the cache is not visible to any other goroutine yet
+		sh.table = make(map[keyDigest]*entry)
+	}
+	return c, nil
 }
 
 // MustNew is New panicking on configuration errors; for wiring in
@@ -274,10 +404,51 @@ func MustNew(cfg Config) *Cache {
 	return c
 }
 
+// Shards returns the number of shards the cache was built with.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shard routes a digest to its shard.
+func (c *Cache) shard(d keyDigest) *shard {
+	return &c.shards[d.lo&c.shardMask]
+}
+
+// keyBufPool recycles the scratch buffers append-style key generation
+// writes into, so a lookup hashes the key bytes without allocating.
+var keyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// digestFor reduces an invocation's cache key to its digest. With an
+// append-capable generator the key bytes live only in a pooled scratch
+// buffer; otherwise the generator's Key string is hashed and dropped.
+func (c *Cache) digestFor(ictx *client.Context) (keyDigest, error) {
+	if c.keyapp != nil {
+		bp := keyBufPool.Get().(*[]byte)
+		b, err := c.keyapp.AppendKey((*bp)[:0], ictx)
+		if err != nil {
+			keyBufPool.Put(bp)
+			return keyDigest{}, err
+		}
+		d := keyDigest{hi: maphash.Bytes(c.seed1, b), lo: maphash.Bytes(c.seed2, b)}
+		*bp = b[:0] // keep any growth for the next lookup
+		keyBufPool.Put(bp)
+		return d, nil
+	}
+	key, err := c.keygen.Key(ictx)
+	if err != nil {
+		return keyDigest{}, err
+	}
+	return keyDigest{hi: maphash.String(c.seed1, key), lo: maphash.String(c.seed2, key)}, nil
+}
+
 // Stats returns a snapshot of the cache counters, read from the
-// metrics registry. Each counter is individually exact; a snapshot
-// taken while invocations are in flight may straddle an update
-// (Bytes/Entries are captured together under the structural lock).
+// metrics registry and the per-shard structure mirrors. Each value is
+// individually exact; a snapshot taken while invocations are in flight
+// may straddle an update. Stats takes no shard locks, so it never
+// contends with the hit path.
 func (c *Cache) Stats() Stats {
 	s := Stats{
 		Hits:          c.m.hits.Load(),
@@ -291,10 +462,10 @@ func (c *Cache) Stats() Stats {
 		Errors:        c.m.errors.Load(),
 		Bypass:        c.m.bypass.Load(),
 	}
-	c.mu.Lock()
-	s.Bytes = c.bytes
-	s.Entries = len(c.table)
-	c.mu.Unlock()
+	for i := range c.shards {
+		s.Bytes += int(c.shards[i].nbytes.Load())
+		s.Entries += int(c.shards[i].nentries.Load())
+	}
 	return s
 }
 
@@ -329,20 +500,27 @@ func (c *Cache) observe(op string, stage obs.Stage, rep string, d time.Duration,
 	}
 }
 
-// Len returns the current number of entries.
+// Len returns the current number of entries, summed from the per-shard
+// mirrors without taking any shard lock.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.table)
+	n := 0
+	for i := range c.shards {
+		n += int(c.shards[i].nentries.Load())
+	}
+	return n
 }
 
-// Clear discards all entries.
+// Clear discards all entries, shard by shard.
 func (c *Cache) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.table = make(map[string]*entry)
-	c.head, c.tail = nil, nil
-	c.bytes = 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.table = make(map[keyDigest]*entry)
+		sh.head, sh.tail = nil, nil
+		sh.nbytes.Store(0)
+		sh.nentries.Store(0)
+		sh.mu.Unlock()
+	}
 }
 
 // HandleInvoke implements client.Handler: the cache lookup and fill
@@ -359,7 +537,7 @@ func (c *Cache) HandleInvoke(ictx *client.Context, next client.Invoker) error {
 	if c.timed {
 		start = c.now()
 	}
-	key, err := c.keygen.Key(ictx)
+	d, err := c.digestFor(ictx)
 	if c.timed {
 		c.observe(ictx.Operation, obs.StageKeyGen, c.keygen.Name(), c.now().Sub(start), err)
 	}
@@ -370,7 +548,7 @@ func (c *Cache) HandleInvoke(ictx *client.Context, next client.Invoker) error {
 		return next(ictx)
 	}
 
-	if result, ok := c.lookup(key, ictx.Operation); ok {
+	if result, ok := c.lookup(d, ictx.Operation); ok {
 		ictx.Result = result
 		ictx.CacheHit = true
 		c.reg.Op(ictx.Operation).Hits.Add(1)
@@ -379,20 +557,20 @@ func (c *Cache) HandleInvoke(ictx *client.Context, next client.Invoker) error {
 	c.reg.Op(ictx.Operation).Misses.Add(1)
 
 	if c.coalesce {
-		return c.invokeCoalesced(key, op, ictx, next)
+		return c.invokeCoalesced(d, op, ictx, next)
 	}
-	return c.invokeMiss(key, op, ictx, next)
+	return c.invokeMiss(d, op, ictx, next)
 }
 
 // invokeMiss drives a miss through the pivot: conditional-request
 // setup, the invocation itself, stale-on-error degradation, 304
 // refresh, and the fill.
-func (c *Cache) invokeMiss(key string, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
+func (c *Cache) invokeMiss(d keyDigest, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
 	// A stale entry with a validator turns this miss into a conditional
 	// request (If-Modified-Since): the server may answer 304 instead of
 	// recomputing and shipping the response.
 	if c.revalidate {
-		if lm, ok := c.staleValidator(key); ok {
+		if lm, ok := c.staleValidator(d); ok {
 			if ictx.RequestHeader == nil {
 				ictx.RequestHeader = make(http.Header, 1)
 			}
@@ -411,7 +589,7 @@ func (c *Cache) invokeMiss(key string, op OperationPolicy, ictx *client.Context,
 		c.observe(ictx.Operation, obs.StageInvoke, "", c.now().Sub(start), err)
 	}
 	if err != nil {
-		if result, ok := c.staleOnError(key, ictx.Operation, err); ok {
+		if result, ok := c.staleOnError(d, ictx.Operation, err); ok {
 			ictx.Result = result
 			ictx.CacheHit = true
 			ictx.ServedStale = true
@@ -421,7 +599,7 @@ func (c *Cache) invokeMiss(key string, op OperationPolicy, ictx *client.Context,
 	}
 
 	if ictx.NotModified {
-		if result, ok := c.refreshStale(key, op, ictx); ok {
+		if result, ok := c.refreshStale(d, op, ictx); ok {
 			ictx.Result = result
 			ictx.CacheHit = true
 			return nil
@@ -429,16 +607,17 @@ func (c *Cache) invokeMiss(key string, op OperationPolicy, ictx *client.Context,
 		return fmt.Errorf("core: server answered 304 but no stale entry for operation %s", ictx.Operation)
 	}
 
-	c.fill(key, op, ictx)
+	c.fill(d, op, ictx)
 	return nil
 }
 
 // staleValidator returns the Last-Modified validator of an expired
-// entry for key, if one is retained for revalidation.
-func (c *Cache) staleValidator(key string) (time.Time, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.table[key]
+// entry for the digest, if one is retained for revalidation.
+func (c *Cache) staleValidator(d keyDigest) (time.Time, bool) {
+	sh := c.shard(d)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.table[d]
 	if !ok || e.lastModified.IsZero() || !e.expired(c.now()) {
 		return time.Time{}, false
 	}
@@ -447,11 +626,12 @@ func (c *Cache) staleValidator(key string) (time.Time, bool) {
 
 // refreshStale extends a stale entry's TTL after a 304 answer and
 // materializes its payload.
-func (c *Cache) refreshStale(key string, op OperationPolicy, ictx *client.Context) (any, bool) {
-	c.mu.Lock()
-	e, ok := c.table[key]
+func (c *Cache) refreshStale(d keyDigest, op OperationPolicy, ictx *client.Context) (any, bool) {
+	sh := c.shard(d)
+	sh.mu.Lock()
+	e, ok := sh.table[d]
 	if !ok {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, false
 	}
 	ttl := c.entryTTL(op, ictx)
@@ -466,9 +646,9 @@ func (c *Cache) refreshStale(key string, op OperationPolicy, ictx *client.Contex
 		e.expires = time.Time{}
 	}
 	e.ttl = ttl
-	c.moveToFrontLocked(e)
+	sh.moveToFrontLocked(e)
 	payload, store := e.payload, e.store
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	c.m.revalidations.Add(1)
 	c.m.hits.Add(1)
 
@@ -521,17 +701,18 @@ func (c *Cache) entryTTL(op OperationPolicy, ictx *client.Context) time.Duration
 	return c.defaultTTL
 }
 
-// lookup returns the materialized application object for key if a fresh
-// entry exists; op names the operation for stage attribution.
-func (c *Cache) lookup(key, op string) (any, bool) {
+// lookup returns the materialized application object for the digest if
+// a fresh entry exists; op names the operation for stage attribution.
+func (c *Cache) lookup(d keyDigest, op string) (any, bool) {
 	var start time.Time
 	if c.timed {
 		start = c.now()
 	}
-	c.mu.Lock()
-	e, ok := c.table[key]
+	sh := c.shard(d)
+	sh.mu.Lock()
+	e, ok := sh.table[d]
 	if !ok {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		c.m.misses.Add(1)
 		if c.timed {
 			c.observe(op, obs.StageLookup, "", c.now().Sub(start), nil)
@@ -544,9 +725,9 @@ func (c *Cache) lookup(key, op string) (any, bool) {
 		// StaleIfError set, it can be served in degraded mode until the
 		// grace window passes. Only a useless entry is dropped.
 		if !c.retainStaleLocked(e, now) {
-			c.removeLocked(e)
+			sh.removeLocked(e)
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		c.m.expirations.Add(1)
 		c.m.misses.Add(1)
 		if c.timed {
@@ -554,9 +735,9 @@ func (c *Cache) lookup(key, op string) (any, bool) {
 		}
 		return nil, false
 	}
-	c.moveToFrontLocked(e)
+	sh.moveToFrontLocked(e)
 	payload, store := e.payload, e.store
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	c.m.hits.Add(1)
 	if c.timed {
 		c.observe(op, obs.StageLookup, "", c.now().Sub(start), nil)
@@ -568,11 +749,11 @@ func (c *Cache) lookup(key, op string) (any, bool) {
 	if !ok {
 		// A payload that no longer loads is dropped; report a miss so
 		// the pivot refills the entry.
-		c.mu.Lock()
-		if cur, ok := c.table[key]; ok && cur == e {
-			c.removeLocked(cur)
+		sh.mu.Lock()
+		if cur, ok := sh.table[d]; ok && cur == e {
+			sh.removeLocked(cur)
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		c.m.errors.Add(1)
 		c.m.hits.Add(-1)
 		c.m.misses.Add(1)
@@ -582,7 +763,7 @@ func (c *Cache) lookup(key, op string) (any, bool) {
 }
 
 // fill stores a completed invocation's response.
-func (c *Cache) fill(key string, op OperationPolicy, ictx *client.Context) {
+func (c *Cache) fill(d keyDigest, op OperationPolicy, ictx *client.Context) {
 	store := c.store
 	if op.Store != nil {
 		store = op.Store
@@ -617,18 +798,20 @@ func (c *Cache) fill(key string, op OperationPolicy, ictx *client.Context) {
 		}
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if old, ok := c.table[key]; ok {
-		c.removeLocked(old)
+	sh := c.shard(d)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.table[d]; ok {
+		sh.removeLocked(old)
 	}
 	e := &entry{
-		key: key, payload: payload, size: size,
+		digest: d, payload: payload, size: size,
 		expires: expires, store: store, ttl: ttl, lastModified: lastModified,
 	}
-	c.table[key] = e
-	c.pushFrontLocked(e)
-	c.bytes += size
+	sh.table[d] = e
+	sh.pushFrontLocked(e)
+	sh.nbytes.Add(int64(size))
+	sh.nentries.Add(1)
 	c.m.stores.Add(1)
 	c.reg.Op(ictx.Operation).Stores.Add(1)
 	if c.timed {
@@ -636,65 +819,67 @@ func (c *Cache) fill(key string, op OperationPolicy, ictx *client.Context) {
 		// populated with this representation.
 		c.reg.Rep(store.Name()).Misses.Add(1)
 	}
-	c.evictLocked()
+	sh.evictLocked(c.m.evictions)
 }
 
-// evictLocked removes least-recently-used entries until the cache is
-// within its bounds.
-func (c *Cache) evictLocked() {
-	for c.tail != nil {
-		over := (c.maxEntries > 0 && len(c.table) > c.maxEntries) ||
-			(c.maxBytes > 0 && c.bytes > c.maxBytes)
+// evictLocked removes least-recently-used entries until the shard is
+// within its budget slice. Callers hold s.mu.
+func (s *shard) evictLocked(evictions *obs.Counter) {
+	for s.tail != nil {
+		over := (s.limEntries >= 0 && int(s.nentries.Load()) > s.limEntries) ||
+			(s.limBytes >= 0 && int(s.nbytes.Load()) > s.limBytes)
 		if !over {
 			return
 		}
-		victim := c.tail
-		c.removeLocked(victim)
-		c.m.evictions.Add(1)
+		victim := s.tail
+		s.removeLocked(victim)
+		evictions.Add(1)
 	}
 }
 
-// pushFrontLocked inserts e at the head of the LRU list.
-func (c *Cache) pushFrontLocked(e *entry) {
+// pushFrontLocked inserts e at the head of the LRU list. Callers hold
+// s.mu.
+func (s *shard) pushFrontLocked(e *entry) {
 	e.prev = nil
-	e.next = c.head
-	if c.head != nil {
-		c.head.prev = e
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
 	}
-	c.head = e
-	if c.tail == nil {
-		c.tail = e
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
 	}
 }
 
-// moveToFrontLocked marks e most recently used.
-func (c *Cache) moveToFrontLocked(e *entry) {
-	if c.head == e {
+// moveToFrontLocked marks e most recently used. Callers hold s.mu.
+func (s *shard) moveToFrontLocked(e *entry) {
+	if s.head == e {
 		return
 	}
-	c.unlinkLocked(e)
-	c.pushFrontLocked(e)
+	s.unlinkLocked(e)
+	s.pushFrontLocked(e)
 }
 
-// removeLocked deletes e from the table and list.
-func (c *Cache) removeLocked(e *entry) {
-	delete(c.table, e.key)
-	c.unlinkLocked(e)
-	c.bytes -= e.size
+// removeLocked deletes e from the table and list. Callers hold s.mu.
+func (s *shard) removeLocked(e *entry) {
+	delete(s.table, e.digest)
+	s.unlinkLocked(e)
+	s.nbytes.Add(-int64(e.size))
+	s.nentries.Add(-1)
 	e.payload = nil
 }
 
-// unlinkLocked detaches e from the list.
-func (c *Cache) unlinkLocked(e *entry) {
+// unlinkLocked detaches e from the list. Callers hold s.mu.
+func (s *shard) unlinkLocked(e *entry) {
 	if e.prev != nil {
 		e.prev.next = e.next
-	} else if c.head == e {
-		c.head = e.next
+	} else if s.head == e {
+		s.head = e.next
 	}
 	if e.next != nil {
 		e.next.prev = e.prev
-	} else if c.tail == e {
-		c.tail = e.prev
+	} else if s.tail == e {
+		s.tail = e.prev
 	}
 	e.prev, e.next = nil, nil
 }

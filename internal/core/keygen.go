@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"strconv"
-	"strings"
+	"sync"
 
 	"repro/internal/client"
 	"repro/internal/soap"
@@ -23,6 +23,33 @@ type KeyGenerator interface {
 	Key(ictx *client.Context) (string, error)
 }
 
+// KeyAppender is an optional KeyGenerator extension: AppendKey writes
+// the key bytes onto dst and returns the extended slice. The cache
+// prefers it over Key because the bytes can live in a pooled scratch
+// buffer and be reduced to a digest without ever materializing a key
+// string — on the hit path that is the difference between zero
+// allocations and one per lookup.
+type KeyAppender interface {
+	// AppendKey appends the key for ictx to dst. The returned slice
+	// must not be retained by the generator.
+	AppendKey(dst []byte, ictx *client.Context) ([]byte, error)
+}
+
+// keyString materializes ka's key through the pooled scratch buffer,
+// so a Key call pays exactly one allocation — the returned string.
+func keyString(ka KeyAppender, ictx *client.Context) (string, error) {
+	bp := keyBufPool.Get().(*[]byte)
+	b, err := ka.AppendKey((*bp)[:0], ictx)
+	if err != nil {
+		keyBufPool.Put(bp)
+		return "", err
+	}
+	key := string(b)
+	*bp = b[:0] // keep any growth for the next key
+	keyBufPool.Put(bp)
+	return key, nil
+}
+
 // XMLMessageKey generates the key by serializing the request to its
 // XML message (Section 4.1.1). No limitation on parameter types, but
 // serialization is paid on every lookup — including hits.
@@ -30,7 +57,10 @@ type XMLMessageKey struct {
 	codec *soap.Codec
 }
 
-var _ KeyGenerator = (*XMLMessageKey)(nil)
+var (
+	_ KeyGenerator = (*XMLMessageKey)(nil)
+	_ KeyAppender  = (*XMLMessageKey)(nil)
+)
 
 // NewXMLMessageKey returns the XML-message key strategy.
 func NewXMLMessageKey(codec *soap.Codec) *XMLMessageKey {
@@ -42,13 +72,30 @@ func (k *XMLMessageKey) Name() string { return "XML message" }
 
 // Key implements KeyGenerator.
 func (k *XMLMessageKey) Key(ictx *client.Context) (string, error) {
+	return keyString(k, ictx)
+}
+
+// AppendKey implements KeyAppender.
+func (k *XMLMessageKey) AppendKey(dst []byte, ictx *client.Context) ([]byte, error) {
 	doc, err := k.codec.EncodeRequest(ictx.Namespace, ictx.Operation, ictx.Params)
 	if err != nil {
-		return "", fmt.Errorf("core: xml key: %w", err)
+		return nil, fmt.Errorf("core: xml key: %w", err)
 	}
 	// The endpoint is not part of the message body; prepend it so two
 	// services with identical operations do not collide.
-	return ictx.Endpoint + "\x00" + string(doc), nil
+	dst = append(dst, ictx.Endpoint...)
+	dst = append(dst, 0)
+	return append(dst, doc...), nil
+}
+
+// gobBufPool recycles the gob scratch buffers GobKey encodes into. The
+// encoder itself is deliberately built fresh per key: a gob stream's
+// first message carries the type definitions and later messages omit
+// them, so a pooled encoder would generate history-dependent bytes —
+// the same parameters would key differently depending on what the
+// encoder had seen before.
+var gobBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
 }
 
 // GobKey generates the key from the gob-serialized form of the
@@ -56,7 +103,10 @@ func (k *XMLMessageKey) Key(ictx *client.Context) (string, error) {
 // Limitation: every parameter must be gob-encodable.
 type GobKey struct{}
 
-var _ KeyGenerator = GobKey{}
+var (
+	_ KeyGenerator = GobKey{}
+	_ KeyAppender  = GobKey{}
+)
 
 // NewGobKey returns the serialization key strategy.
 func NewGobKey() GobKey { return GobKey{} }
@@ -65,25 +115,47 @@ func NewGobKey() GobKey { return GobKey{} }
 func (GobKey) Name() string { return "Gob serialization" }
 
 // Key implements KeyGenerator.
-func (GobKey) Key(ictx *client.Context) (string, error) {
-	var buf bytes.Buffer
+func (k GobKey) Key(ictx *client.Context) (string, error) {
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	defer gobBufPool.Put(buf)
+	if err := k.encode(buf, ictx); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// AppendKey implements KeyAppender. Gob itself still allocates while
+// encoding, but the scratch buffer is pooled and the key bytes never
+// become a string.
+func (k GobKey) AppendKey(dst []byte, ictx *client.Context) ([]byte, error) {
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	defer gobBufPool.Put(buf)
+	if err := k.encode(buf, ictx); err != nil {
+		return nil, err
+	}
+	return append(dst, buf.Bytes()...), nil
+}
+
+// encode writes the key bytes into the (reset) scratch buffer.
+func (GobKey) encode(buf *bytes.Buffer, ictx *client.Context) error {
+	buf.Reset()
 	buf.WriteString(ictx.Endpoint)
 	buf.WriteByte(0)
 	buf.WriteString(ictx.Operation)
 	buf.WriteByte(0)
-	enc := gob.NewEncoder(&buf)
+	enc := gob.NewEncoder(buf)
 	for _, p := range ictx.Params {
 		if err := registerGobValue(p.Value); err != nil {
-			return "", fmt.Errorf("core: gob key: param %s: %w", p.Name, err)
+			return fmt.Errorf("core: gob key: param %s: %w", p.Name, err)
 		}
 		if err := enc.Encode(p.Name); err != nil {
-			return "", fmt.Errorf("core: gob key: %w", err)
+			return fmt.Errorf("core: gob key: %w", err)
 		}
 		if err := encodeGobAny(enc, p.Value); err != nil {
-			return "", fmt.Errorf("core: gob key: param %s: %w", p.Name, err)
+			return fmt.Errorf("core: gob key: param %s: %w", p.Name, err)
 		}
 	}
-	return buf.String(), nil
+	return nil
 }
 
 // StringKey generates the key from the string forms of the parameter
@@ -93,7 +165,10 @@ func (GobKey) Key(ictx *client.Context) (string, error) {
 // paper rejects Object.toString.
 type StringKey struct{}
 
-var _ KeyGenerator = StringKey{}
+var (
+	_ KeyGenerator = StringKey{}
+	_ KeyAppender  = StringKey{}
+)
 
 // NewStringKey returns the string key strategy.
 func NewStringKey() StringKey { return StringKey{} }
@@ -102,78 +177,72 @@ func NewStringKey() StringKey { return StringKey{} }
 func (StringKey) Name() string { return "String concatenation" }
 
 // Key implements KeyGenerator.
-func (StringKey) Key(ictx *client.Context) (string, error) {
-	var b strings.Builder
-	b.Grow(len(ictx.Endpoint) + len(ictx.Operation) + 32*len(ictx.Params))
-	b.WriteString(ictx.Endpoint)
-	b.WriteByte(0)
-	b.WriteString(ictx.Operation)
-	for _, p := range ictx.Params {
-		b.WriteByte(0)
-		b.WriteString(p.Name)
-		b.WriteByte('=')
-		if err := appendString(&b, p.Value); err != nil {
-			return "", fmt.Errorf("core: string key: param %s: %w", p.Name, err)
-		}
-	}
-	return b.String(), nil
+func (k StringKey) Key(ictx *client.Context) (string, error) {
+	return keyString(k, ictx)
 }
 
-// appendString renders one parameter value.
-func appendString(b *strings.Builder, v any) error {
+// AppendKey implements KeyAppender. Every value is rendered with the
+// strconv Append family straight into dst, so key generation itself
+// performs no heap allocation once dst has capacity.
+func (StringKey) AppendKey(dst []byte, ictx *client.Context) ([]byte, error) {
+	dst = append(dst, ictx.Endpoint...)
+	dst = append(dst, 0)
+	dst = append(dst, ictx.Operation...)
+	for i := range ictx.Params {
+		p := &ictx.Params[i]
+		dst = append(dst, 0)
+		dst = append(dst, p.Name...)
+		dst = append(dst, '=')
+		var err error
+		dst, err = appendString(dst, p.Value)
+		if err != nil {
+			return nil, fmt.Errorf("core: string key: param %s: %w", p.Name, err)
+		}
+	}
+	return dst, nil
+}
+
+// appendString renders one parameter value onto dst.
+func appendString(dst []byte, v any) ([]byte, error) {
 	switch x := v.(type) {
 	case nil:
-		b.WriteString("<nil>")
-		return nil
+		return append(dst, "<nil>"...), nil
 	case string:
-		b.WriteString(x)
-		return nil
+		return append(dst, x...), nil
 	case bool:
-		b.WriteString(strconv.FormatBool(x))
-		return nil
+		return strconv.AppendBool(dst, x), nil
 	case int:
-		b.WriteString(strconv.Itoa(x))
-		return nil
+		return strconv.AppendInt(dst, int64(x), 10), nil
 	case int8:
-		b.WriteString(strconv.FormatInt(int64(x), 10))
-		return nil
+		return strconv.AppendInt(dst, int64(x), 10), nil
 	case int16:
-		b.WriteString(strconv.FormatInt(int64(x), 10))
-		return nil
+		return strconv.AppendInt(dst, int64(x), 10), nil
 	case int32:
-		b.WriteString(strconv.FormatInt(int64(x), 10))
-		return nil
+		return strconv.AppendInt(dst, int64(x), 10), nil
 	case int64:
-		b.WriteString(strconv.FormatInt(x, 10))
-		return nil
+		return strconv.AppendInt(dst, x, 10), nil
 	case uint:
-		b.WriteString(strconv.FormatUint(uint64(x), 10))
-		return nil
+		return strconv.AppendUint(dst, uint64(x), 10), nil
+	case uint8:
+		return strconv.AppendUint(dst, uint64(x), 10), nil
 	case uint16:
-		b.WriteString(strconv.FormatUint(uint64(x), 10))
-		return nil
+		return strconv.AppendUint(dst, uint64(x), 10), nil
 	case uint32:
-		b.WriteString(strconv.FormatUint(uint64(x), 10))
-		return nil
+		return strconv.AppendUint(dst, uint64(x), 10), nil
 	case uint64:
-		b.WriteString(strconv.FormatUint(x, 10))
-		return nil
+		return strconv.AppendUint(dst, x, 10), nil
 	case float32:
-		b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 32))
-		return nil
+		return strconv.AppendFloat(dst, float64(x), 'g', -1, 32), nil
 	case float64:
-		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
-		return nil
+		return strconv.AppendFloat(dst, x, 'g', -1, 64), nil
 	case []byte:
 		// Byte-array parameters are rare for cacheable retrievals but
 		// cheap to render faithfully.
-		b.Write(x)
-		return nil
+		return append(dst, x...), nil
 	case fmt.Stringer:
-		b.WriteString(x.String())
-		return nil
+		return append(dst, x.String()...), nil
 	default:
-		return fmt.Errorf("type %T has no value-based string form", v)
+		return nil, fmt.Errorf("type %T has no value-based string form", v)
 	}
 }
 

@@ -21,27 +21,30 @@ type flight struct {
 	err  error         // the leader's outcome; written before done closes
 }
 
-// invokeCoalesced collapses concurrent misses on key into one backend
-// invocation. The first miss becomes the flight leader and runs the
-// normal miss path; later misses wait for it and serve themselves from
-// the cache the leader filled. A follower whose wait yields nothing
-// usable (the leader's response was uncacheable, or its entry was
-// already evicted) falls back to its own invocation rather than fail.
-func (c *Cache) invokeCoalesced(key string, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
-	c.flightMu.Lock()
-	if f, ok := c.flights[key]; ok {
-		c.flightMu.Unlock()
-		return c.followFlight(f, key, op, ictx, next)
+// invokeCoalesced collapses concurrent misses on one key into one
+// backend invocation. Flights live in the key's shard, so coalescing
+// bookkeeping on different shards never contends. The first miss
+// becomes the flight leader and runs the normal miss path; later
+// misses wait for it and serve themselves from the cache the leader
+// filled. A follower whose wait yields nothing usable (the leader's
+// response was uncacheable, or its entry was already evicted) falls
+// back to its own invocation rather than fail.
+func (c *Cache) invokeCoalesced(d keyDigest, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
+	sh := c.shard(d)
+	sh.flightMu.Lock()
+	if f, ok := sh.flights[d]; ok {
+		sh.flightMu.Unlock()
+		return c.followFlight(f, d, op, ictx, next)
 	}
 	f := &flight{done: make(chan struct{})}
-	c.flights[key] = f
-	c.flightMu.Unlock()
+	sh.flights[d] = f
+	sh.flightMu.Unlock()
 
-	err := c.invokeMiss(key, op, ictx, next)
+	err := c.invokeMiss(d, op, ictx, next)
 
-	c.flightMu.Lock()
-	delete(c.flights, key)
-	c.flightMu.Unlock()
+	sh.flightMu.Lock()
+	delete(sh.flights, d)
+	sh.flightMu.Unlock()
 	f.err = err
 	close(f.done)
 	return err
@@ -49,7 +52,7 @@ func (c *Cache) invokeCoalesced(key string, op OperationPolicy, ictx *client.Con
 
 // followFlight waits for the flight leader and serves the follower's
 // invocation from the leader's outcome.
-func (c *Cache) followFlight(f *flight, key string, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
+func (c *Cache) followFlight(f *flight, d keyDigest, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
 	var start time.Time
 	if c.timed {
 		start = c.now()
@@ -74,7 +77,7 @@ func (c *Cache) followFlight(f *flight, key string, op OperationPolicy, ictx *cl
 	if f.err != nil {
 		// The leader failed. The follower is as entitled to degraded
 		// serving as the leader was; otherwise it shares the error.
-		if result, ok := c.staleOnError(key, ictx.Operation, f.err); ok {
+		if result, ok := c.staleOnError(d, ictx.Operation, f.err); ok {
 			ictx.Result = result
 			ictx.CacheHit = true
 			ictx.ServedStale = true
@@ -82,7 +85,7 @@ func (c *Cache) followFlight(f *flight, key string, op OperationPolicy, ictx *cl
 		}
 		return f.err
 	}
-	if result, ok := c.lookup(key, ictx.Operation); ok {
+	if result, ok := c.lookup(d, ictx.Operation); ok {
 		ictx.Result = result
 		ictx.CacheHit = true
 		c.reg.Op(ictx.Operation).Hits.Add(1)
@@ -91,14 +94,14 @@ func (c *Cache) followFlight(f *flight, key string, op OperationPolicy, ictx *cl
 	// The leader succeeded but left nothing loadable (uncacheable
 	// response, store error, or eviction under pressure). Do the work
 	// ourselves; correctness outranks coalescing.
-	return c.invokeMiss(key, op, ictx, next)
+	return c.invokeMiss(d, op, ictx, next)
 }
 
 // staleOnError serves a TTL-expired entry within the StaleIfError grace
 // window after a backend failure. SOAP faults are excluded: a fault is
 // an application-level answer from a live backend, and masking it with
 // stale data would change program behaviour, not availability.
-func (c *Cache) staleOnError(key, op string, err error) (any, bool) {
+func (c *Cache) staleOnError(d keyDigest, op string, err error) (any, bool) {
 	if c.staleIfError <= 0 {
 		return nil, false
 	}
@@ -107,10 +110,11 @@ func (c *Cache) staleOnError(key, op string, err error) (any, bool) {
 		return nil, false
 	}
 
-	c.mu.Lock()
-	e, ok := c.table[key]
+	sh := c.shard(d)
+	sh.mu.Lock()
+	e, ok := sh.table[d]
 	if !ok {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, false
 	}
 	now := c.now()
@@ -118,12 +122,12 @@ func (c *Cache) staleOnError(key, op string, err error) (any, bool) {
 	// recovery when another invocation refills the key); otherwise the
 	// entry must be within its grace window.
 	if e.expired(now) && !c.withinStaleWindow(e, now) {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, false
 	}
-	c.moveToFrontLocked(e)
+	sh.moveToFrontLocked(e)
 	payload, store := e.payload, e.store
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	c.m.staleServes.Add(1)
 
 	result, ok := c.loadPayload(op, store, payload)
@@ -143,7 +147,7 @@ func (c *Cache) withinStaleWindow(e *entry, now time.Time) bool {
 // retainStaleLocked reports whether an expired entry must be kept for a
 // later degraded use: 304 revalidation (validator present) or
 // stale-on-error serving (grace window not yet passed). Callers hold
-// c.mu.
+// the entry's shard lock.
 func (c *Cache) retainStaleLocked(e *entry, now time.Time) bool {
 	if c.revalidate && !e.lastModified.IsZero() {
 		return true

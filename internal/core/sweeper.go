@@ -85,21 +85,27 @@ func (s *Sweeper) Shutdown() {
 // StaleIfError grace window are retained: they are the cache's only
 // answer if the backend fails, and the window bounds how long they
 // linger.
+//
+// The sweep locks one shard at a time, never the whole cache, so hits
+// on the other shards proceed while a shard is being swept.
 func (c *Cache) SweepExpired() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	now := c.now()
 	removed := 0
-	// Walk the LRU list rather than the map to touch entries in a
-	// deterministic order.
-	for e := c.head; e != nil; {
-		next := e.next
-		if e.expired(now) && !c.withinStaleWindow(e, now) {
-			c.removeLocked(e)
-			c.m.expirations.Add(1)
-			removed++
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		// Walk the LRU list rather than the map to touch entries in a
+		// deterministic order.
+		for e := sh.head; e != nil; {
+			next := e.next
+			if e.expired(now) && !c.withinStaleWindow(e, now) {
+				sh.removeLocked(e)
+				c.m.expirations.Add(1)
+				removed++
+			}
+			e = next
 		}
-		e = next
+		sh.mu.Unlock()
 	}
 	return removed
 }
