@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test race cover bench bench-all bench-smoke tables figures fuzz generate clean
+.PHONY: all check build vet lint test race cover bench bench-rep bench-all bench-smoke tables figures fuzz generate clean
 
 all: build vet lint test
 
@@ -48,11 +48,21 @@ bench:
 	  -note "checked-in run: single-CPU container (GOMAXPROCS=1), so parallel scaling cannot manifest; pre-shard baseline on the same harness and host: HitSerial 342.4 ns/op 1 alloc/op, HitParallel/16 312.9 ns/op"
 	@cat BENCH_core.json
 
+# Track the adaptive representation selector: a full-stack cache hit
+# under the static Section 6 classifier vs the measured-cost selector,
+# archived as BENCH_rep.json. The selector's steady-state hit must stay
+# within 5% of static (TestRepSelectorHitOverhead enforces it).
+bench-rep:
+	$(GO) test -run NONE -bench 'BenchmarkRepSelector' -benchmem ./ \
+	| $(GO) run ./cmd/benchjson -o BENCH_rep.json \
+	  -note "checked-in run: single-CPU container; steady-state full-stack hit, entry filled by the selector's first probe round"
+	@cat BENCH_rep.json
+
 # One-iteration CI smoke: proves the benchmarks and the JSON emitter
 # still run; the numbers are meaningless at -benchtime 1x.
 bench-smoke:
 	{ $(GO) test -run NONE -bench 'BenchmarkHit' -benchtime 1x -benchmem ./internal/core && \
-	  $(GO) test -run NONE -bench 'BenchmarkPortalConcurrency/users=4' -benchtime 1x ./; } \
+	  $(GO) test -run NONE -bench 'BenchmarkPortalConcurrency/users=4|BenchmarkRepSelector' -benchtime 1x ./; } \
 	| $(GO) run ./cmd/benchjson
 
 # Regenerate every table and figure of the paper's evaluation.

@@ -27,13 +27,13 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op,omitempty"`
-	OpsPerSec  float64            `json:"ops_per_sec,omitempty"`
-	BytesPerOp float64            `json:"bytes_per_op"`
-	AllocsPerOp float64           `json:"allocs_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	OpsPerSec   float64            `json:"ops_per_sec,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Doc is the emitted document.

@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	dummygoogle -addr :8080          # full SOAP dispatcher
-//	dummygoogle -addr :8080 -fixed   # precomputed identical responses
+//	dummygoogle -addr :8080                  # full SOAP dispatcher
+//	dummygoogle -addr :8080 -fixed           # precomputed identical responses
+//	dummygoogle -cache                       # server-side response cache (raw bodies)
+//	dummygoogle -cache -cache-rep compact    # ... resident as compact SAX events
 package main
 
 import (
@@ -17,21 +19,28 @@ import (
 	"time"
 
 	"repro/internal/googleapi"
+	"repro/internal/rep"
+	"repro/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	fixed := flag.Bool("fixed", false, "serve precomputed fixed responses (cheapest back end)")
 	ttl := flag.Duration("ttl", time.Hour, "Cache-Control max-age stamped on responses (0 disables)")
+	useCache := flag.Bool("cache", false, "wrap the dispatcher in the server-side response cache")
+	cacheRep := flag.String("cache-rep", "raw", `resident representation for cached bodies: "raw" or "compact-sax"`)
 	flag.Parse()
 
-	if err := run(*addr, *fixed, *ttl); err != nil {
+	if err := run(*addr, *fixed, *ttl, *useCache, *cacheRep); err != nil {
 		fmt.Fprintln(os.Stderr, "dummygoogle:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, fixed bool, ttl time.Duration) error {
+func run(addr string, fixed bool, ttl time.Duration, useCache bool, cacheRep string) error {
+	if useCache && fixed {
+		return fmt.Errorf("-cache has no effect with -fixed (responses are already precomputed)")
+	}
 	var soapHandler http.Handler
 	if fixed {
 		soapHandler = googleapi.NewFixedResponseHandler()
@@ -44,6 +53,16 @@ func run(addr string, fixed bool, ttl time.Duration) error {
 			d.SetValidatorPolicy(time.Now(), ttl)
 		}
 		soapHandler = d
+		if useCache {
+			body, err := rep.BodyStoreFor(cacheRep)
+			if err != nil {
+				return err
+			}
+			soapHandler = server.NewResponseCache(d, server.ResponseCacheConfig{
+				TTL:  ttl,
+				Body: body,
+			})
+		}
 	}
 
 	mux := http.NewServeMux()

@@ -11,6 +11,7 @@
 //	portalbench -concurrency 64          # override the figure's user count
 //	portalbench -requests 2000           # heavier run per point
 //	portalbench -figure 3 -store "Pass by Reference"
+//	portalbench -figure 3 -rep adaptive     # the measured-cost selector
 //	portalbench -obs-dump                # print the final /debug/wscache snapshot
 //	portalbench -obs-addr :9091          # serve it live while the sweep runs
 package main
@@ -37,6 +38,7 @@ func main() {
 	requests := flag.Int("requests", 1000, "portal page requests per measured point")
 	hot := flag.Int("hot", 4, "distinct pre-warmed (hot) queries")
 	storeFilter := flag.String("store", "", "run only the named cache method (substring match)")
+	repName := flag.String("rep", "", `run a single representation by registry name ("sax", "adaptive", ...); overrides -store`)
 	op := flag.String("op", googleapi.OpGoogleSearch, "back-end operation under load (doGoogleSearch, doSpellingSuggestion, doGetCachedPage)")
 	format := flag.String("format", "text", `output format: "text" or "csv"`)
 	obsDump := flag.Bool("obs-dump", false, "print the sweep's observability snapshot as JSON when done")
@@ -49,6 +51,7 @@ func main() {
 		requests:    *requests,
 		hot:         *hot,
 		storeFilter: *storeFilter,
+		rep:         *repName,
 		op:          *op,
 		format:      *format,
 		obsDump:     *obsDump,
@@ -67,6 +70,7 @@ type runCfg struct {
 	requests    int
 	hot         int
 	storeFilter string
+	rep         string
 	op          string
 	format      string
 	obsDump     bool
@@ -92,7 +96,13 @@ func run(cfg runCfg) error {
 	}
 
 	stores := bench.FigureStores()
-	if cfg.storeFilter != "" {
+	if cfg.rep != "" {
+		spec, err := bench.StoreSpecByName(cfg.rep)
+		if err != nil {
+			return err
+		}
+		stores = []bench.StoreSpec{spec}
+	} else if cfg.storeFilter != "" {
 		var filtered []bench.StoreSpec
 		for _, s := range stores {
 			if strings.Contains(strings.ToLower(s.Name), strings.ToLower(cfg.storeFilter)) {

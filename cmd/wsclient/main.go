@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/googleapi"
 	"repro/internal/obs"
+	"repro/internal/rep"
 	"repro/internal/soap"
 	"repro/internal/transport"
 	"repro/internal/typemap"
@@ -39,6 +40,7 @@ func main() {
 	wsdlSrc := flag.String("wsdl", "google", `WSDL source: "google" (embedded) or a file path`)
 	endpoint := flag.String("endpoint", "", "endpoint override (default: the WSDL's soap:address)")
 	useCache := flag.Bool("cache", false, "enable the client response cache")
+	repName := flag.String("rep", "adaptive", `cache value representation: a registry name (sax, dom, gob, ...), "auto" (static classifier), or "adaptive" (measured-cost selector)`)
 	repeat := flag.Int("repeat", 1, "invoke the operation this many times")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-call timeout")
 	retries := flag.Int("retries", 1, "total attempts per call (>1 retries transient transport failures)")
@@ -57,6 +59,7 @@ func main() {
 		operation: flag.Arg(0),
 		args:      flag.Args()[1:],
 		useCache:  *useCache,
+		rep:       *repName,
 		repeat:    *repeat,
 		timeout:   *timeout,
 		retries:   *retries,
@@ -76,6 +79,7 @@ type runConfig struct {
 	operation string
 	args      []string
 	useCache  bool
+	rep       string
 	repeat    int
 	timeout   time.Duration
 	retries   int
@@ -117,12 +121,25 @@ func run(cfg runConfig) error {
 	var handlers []client.Handler
 	var cache *core.Cache
 	if useCache {
-		cache = core.MustNew(core.Config{
-			KeyGen:     core.NewStringKey(),
-			Store:      core.NewAutoStore(reg, codec),
+		reps := rep.NewRegistry(reg, codec)
+		coreCfg := core.Config{
+			KeyGen:     rep.NewStringKey(),
 			DefaultTTL: time.Hour,
 			Obs:        obsReg,
-		})
+		}
+		// "adaptive" rides core's default selector (which sizes its cost
+		// model to the cache's byte budget); anything else resolves
+		// through the registry.
+		if strings.EqualFold(cfg.rep, "adaptive") {
+			coreCfg.Rep = reps
+		} else {
+			store, err := reps.Store(cfg.rep)
+			if err != nil {
+				return err
+			}
+			coreCfg.Store = store
+		}
+		cache = core.MustNew(coreCfg)
 		handlers = append(handlers, cache)
 	}
 

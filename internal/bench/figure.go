@@ -12,41 +12,86 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/obs"
 	"repro/internal/portal"
+	"repro/internal/rep"
 	"repro/internal/soap"
 	"repro/internal/transport"
 	"repro/internal/typemap"
 )
 
 // StoreSpec names a cache value representation and builds it against a
-// codec, so each figure series runs with a fresh cache.
+// codec, so each figure series runs with a fresh cache (and, for the
+// adaptive selector, a fresh cost model).
 type StoreSpec struct {
-	Name  string
-	Build func(reg *typemap.Registry, codec *soap.Codec) core.ValueStore
+	// Name is the legend label.
+	Name string
+	// Rep is the rep.Registry name the spec resolves ("sax",
+	// "adaptive", ...); informational for hand-built specs.
+	Rep   string
+	Build func(reg *typemap.Registry, codec *soap.Codec) rep.ValueStore
+}
+
+// registrySpec resolves a representation by registry name, freshly per
+// build so series never share state. Builtin names are known-good;
+// resolution cannot fail for them.
+func registrySpec(display, name string) StoreSpec {
+	return StoreSpec{
+		Name: display,
+		Rep:  name,
+		Build: func(r *typemap.Registry, c *soap.Codec) rep.ValueStore {
+			store, err := rep.NewRegistry(r, c).Store(name)
+			if err != nil {
+				panic(fmt.Sprintf("bench: builtin representation %q: %v", name, err))
+			}
+			return store
+		},
+	}
 }
 
 // FigureStores returns the six series of Figures 3 and 4, in the
-// paper's legend order.
+// paper's legend order, each resolved through the representation
+// registry. Pass by reference is hand-built: the figure shares even
+// mutable results (the portal never mutates them), where the
+// registry's "ref" accepts only immutable types.
 func FigureStores() []StoreSpec {
 	return []StoreSpec{
-		{"XML Message", func(_ *typemap.Registry, c *soap.Codec) core.ValueStore {
-			return core.NewXMLMessageStore(c)
-		}},
-		{"SAX Events Sequence", func(_ *typemap.Registry, c *soap.Codec) core.ValueStore {
-			return core.NewSAXEventsStore(c)
-		}},
-		{"Binary Serialization", func(r *typemap.Registry, _ *soap.Codec) core.ValueStore {
-			return core.NewBinserStore(r)
-		}},
-		{"Copy by Reflection", func(r *typemap.Registry, _ *soap.Codec) core.ValueStore {
-			return core.NewReflectCopyStore(r)
-		}},
-		{"Copy by Clone", func(_ *typemap.Registry, _ *soap.Codec) core.ValueStore {
-			return core.NewCloneCopyStore()
-		}},
-		{"Pass by Reference", func(r *typemap.Registry, _ *soap.Codec) core.ValueStore {
-			return core.NewRefStore(r, true)
-		}},
+		registrySpec("XML Message", "xml"),
+		registrySpec("SAX Events Sequence", "sax"),
+		registrySpec("Binary Serialization", "binser"),
+		registrySpec("Copy by Reflection", "reflect"),
+		registrySpec("Copy by Clone", "clone"),
+		{Name: "Pass by Reference", Rep: "ref",
+			Build: func(r *typemap.Registry, _ *soap.Codec) rep.ValueStore {
+				return rep.NewRefStore(r, true)
+			}},
 	}
+}
+
+// AdaptiveSpec returns the measured-cost selector as a seventh series:
+// not a paper curve, but the reproduction's own contribution, run
+// against the same sweep for comparison.
+func AdaptiveSpec() StoreSpec {
+	return registrySpec("Adaptive (cost model)", "adaptive")
+}
+
+// StoreSpecByName resolves a series by legend label or registry name
+// (case-insensitive): the six paper series, "adaptive", or any other
+// name the representation registry knows.
+func StoreSpecByName(name string) (StoreSpec, error) {
+	specs := append(FigureStores(), AdaptiveSpec())
+	for _, s := range specs {
+		if strings.EqualFold(s.Name, name) || strings.EqualFold(s.Rep, name) {
+			return s, nil
+		}
+	}
+	// Fall back to the registry's own namespace ("dom", "gob", ...).
+	probe := rep.NewRegistry(typemap.NewRegistry(), nil)
+	if spec, err := probe.ValueSpecFor(name); err == nil {
+		return registrySpec(spec.Store.Name(), spec.Name), nil
+	}
+	if strings.EqualFold(name, "auto") {
+		return registrySpec("Static classifier (auto)", "auto"), nil
+	}
+	return StoreSpec{}, fmt.Errorf("bench: no cache representation named %q", name)
 }
 
 // FigurePoint is one measurement: a hit ratio and the portal's
@@ -150,7 +195,7 @@ func figurePoint(ctx context.Context, cfg FigureConfig, spec StoreSpec, ratio fl
 		return FigurePoint{}, err
 	}
 	cache := core.MustNew(core.Config{
-		KeyGen:     core.NewStringKey(),
+		KeyGen:     rep.NewStringKey(),
 		Store:      spec.Build(codec.Registry(), codec),
 		DefaultTTL: time.Hour,
 		Obs:        cfg.Obs,

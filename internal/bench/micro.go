@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/googleapi"
 	"repro/internal/memsize"
+	"repro/internal/rep"
 	"repro/internal/sax"
 )
 
@@ -16,18 +16,18 @@ import (
 const DefaultIterations = 10_000
 
 // keyGenerators returns the Table 6 rows in paper order.
-func (e *Env) keyGenerators() []core.KeyGenerator {
-	return []core.KeyGenerator{
-		core.NewXMLMessageKey(e.Codec),
-		core.NewBinserKey(e.Reg),
-		core.NewStringKey(),
+func (e *Env) keyGenerators() []rep.KeyGenerator {
+	return []rep.KeyGenerator{
+		rep.NewXMLMessageKey(e.Codec),
+		rep.NewBinserKey(e.Reg),
+		rep.NewStringKey(),
 	}
 }
 
 // valueStoreRow pairs a store with its per-operation applicability,
 // mirroring the n/a cells of the paper's Table 7.
 type valueStoreRow struct {
-	store      core.ValueStore
+	store      rep.ValueStore
 	applicable map[string]bool // nil means applicable to all
 }
 
@@ -37,23 +37,23 @@ type valueStoreRow struct {
 // the generated GoogleSearchResult class.
 func (e *Env) valueStores() []valueStoreRow {
 	return []valueStoreRow{
-		{store: core.NewXMLMessageStore(e.Codec)},
-		{store: core.NewSAXEventsStore(e.Codec)},
-		{store: core.NewBinserStore(e.Reg)},
+		{store: rep.NewXMLMessageStore(e.Codec)},
+		{store: rep.NewSAXEventsStore(e.Codec)},
+		{store: rep.NewBinserStore(e.Reg)},
 		{
-			store: core.NewReflectCopyStore(e.Reg),
+			store: rep.NewReflectCopyStore(e.Reg),
 			applicable: map[string]bool{
 				googleapi.OpGetCachedPage: true,
 				googleapi.OpGoogleSearch:  true,
 			},
 		},
 		{
-			store: core.NewCloneCopyStore(),
+			store: rep.NewCloneCopyStore(),
 			applicable: map[string]bool{
 				googleapi.OpGoogleSearch: true,
 			},
 		},
-		{store: core.NewRefStore(e.Reg, true)},
+		{store: rep.NewRefStore(e.Reg, true)},
 	}
 }
 
@@ -174,7 +174,7 @@ func (e *Env) Table9() (*Table, error) {
 			return len(op.Ctx.ResponseXML), nil
 		}},
 		{"Serialized form", func(op *OpFixture) (int, error) {
-			_, size, err := core.NewBinserStore(e.Reg).Store(op.Ctx)
+			_, size, err := rep.NewBinserStore(e.Reg).Store(op.Ctx)
 			return size, err
 		}},
 		{"Application object", func(op *OpFixture) (int, error) {

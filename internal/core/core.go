@@ -20,8 +20,11 @@
 // recorded SAX event sequence (naive or compact), the DOM tree, the
 // binary-serialized application object, a reflection deep copy, a
 // Cloner deep copy, or a shared reference for read-only/immutable
-// objects. AutoStore picks per result type at run time, implementing
-// the optimal configuration of Section 6.
+// objects. The representations themselves live in package rep;
+// rep.AutoStore picks per result type at run time, implementing the
+// optimal configuration of Section 6, and rep.AdaptiveSelector — the
+// default when Config.Rep is set and Config.Store is not — refines
+// that choice online from measured Store/Load cost.
 //
 // Concurrency: the table is sharded (Config.Shards). Keys are reduced
 // to a seeded 128-bit digest; the digest routes the request to one of a
@@ -44,6 +47,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/clock"
 	"repro/internal/obs"
+	"repro/internal/rep"
 	"repro/internal/transport"
 )
 
@@ -53,8 +57,14 @@ type Config struct {
 	// implement KeyAppender let the cache hash the key from a pooled
 	// scratch buffer without materializing a key string per lookup.
 	KeyGen KeyGenerator
-	// Store is the default value representation; required.
+	// Store is the default value representation. When nil, Rep must be
+	// set and the cache builds a rep.AdaptiveSelector over it — the
+	// measured-cost selector with the static Section 6 classifier as
+	// prior — sized to the per-shard slice of MaxBytes.
 	Store ValueStore
+	// Rep is the representation registry backing the default adaptive
+	// selector when Store is nil. Ignored when Store is set.
+	Rep *rep.Registry
 	// Policy controls per-operation cacheability; zero value caches
 	// every operation with DefaultTTL.
 	Policy Policy
@@ -352,12 +362,27 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.KeyGen == nil {
 		return nil, fmt.Errorf("core: Config.KeyGen is required")
 	}
-	if cfg.Store == nil {
-		return nil, fmt.Errorf("core: Config.Store is required")
-	}
 	now := clock.Or(cfg.Clock)
 	reg := obs.Or(cfg.Obs)
 	nsh := shardCount(cfg)
+	if cfg.Store == nil {
+		if cfg.Rep == nil {
+			return nil, fmt.Errorf("core: Config.Store is required (or set Config.Rep for the adaptive default)")
+		}
+		sel, err := rep.NewAdaptiveSelector(rep.SelectorConfig{
+			Registry: cfg.Rep,
+			// Score payload size against one shard's slice of the byte
+			// budget: that is the capacity an entry actually competes
+			// for. Unbounded caches (-1) keep the selector's default.
+			ByteBudget: int64(sliceBudget(cfg.MaxBytes, nsh, 0)),
+			Clock:      cfg.Clock,
+			Obs:        cfg.Obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = sel
+	}
 	c := &Cache{
 		keygen:         cfg.KeyGen,
 		store:          cfg.Store,

@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+func TestPolicyDefaults(t *testing.T) {
+	var p Policy
+	if !p.For("anything").Cacheable {
+		t.Error("zero policy should cache everything")
+	}
+
+	p2 := NewPolicy(0, "a", "b")
+	if !p2.For("a").Cacheable || !p2.For("b").Cacheable {
+		t.Error("listed ops must be cacheable")
+	}
+	if p2.For("c").Cacheable {
+		t.Error("unlisted op must not be cacheable")
+	}
+	if got := p2.CacheableOps(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("cacheable ops = %v", got)
+	}
+
+	p3 := Policy{
+		Default:         OperationPolicy{Cacheable: true},
+		DefaultExplicit: true,
+		Operations: map[string]OperationPolicy{
+			"update": {Cacheable: false},
+		},
+	}
+	if p3.For("update").Cacheable {
+		t.Error("explicit uncacheable ignored")
+	}
+	if !p3.For("read").Cacheable {
+		t.Error("explicit default ignored")
+	}
+	if got := p3.UncacheableOps(); len(got) != 1 || got[0] != "update" {
+		t.Errorf("uncacheable ops = %v", got)
+	}
+}

@@ -1,0 +1,162 @@
+// Compatibility aliases for the representation machinery that moved to
+// internal/rep. The extraction promoted the key strategies, value
+// stores, and the Table 2/3 matrices into their own package (with the
+// registry and the adaptive selector built on top); everything here is
+// a thin re-export kept so existing call sites compile unchanged.
+// New code should import repro/internal/rep directly — see DESIGN.md
+// §5e for the migration notes.
+package core
+
+import (
+	"repro/internal/rep"
+	"repro/internal/soap"
+	"repro/internal/typemap"
+)
+
+// Interfaces and data types.
+type (
+	// KeyGenerator derives cache keys.
+	//
+	// Deprecated: use rep.KeyGenerator.
+	KeyGenerator = rep.KeyGenerator
+	// KeyAppender is the zero-allocation key extension.
+	//
+	// Deprecated: use rep.KeyAppender.
+	KeyAppender = rep.KeyAppender
+	// ValueStore is a cache value representation.
+	//
+	// Deprecated: use rep.ValueStore.
+	ValueStore = rep.ValueStore
+	// RepresentationInfo is one Table 2/3 row.
+	//
+	// Deprecated: use rep.RepresentationInfo.
+	RepresentationInfo = rep.RepresentationInfo
+)
+
+// Concrete representations.
+type (
+	// Deprecated: use rep.XMLMessageKey.
+	XMLMessageKey = rep.XMLMessageKey
+	// Deprecated: use rep.GobKey.
+	GobKey = rep.GobKey
+	// Deprecated: use rep.StringKey.
+	StringKey = rep.StringKey
+	// Deprecated: use rep.BinserKey.
+	BinserKey = rep.BinserKey
+	// Deprecated: use rep.XMLMessageStore.
+	XMLMessageStore = rep.XMLMessageStore
+	// Deprecated: use rep.SAXEventsStore.
+	SAXEventsStore = rep.SAXEventsStore
+	// Deprecated: use rep.CompactSAXStore.
+	CompactSAXStore = rep.CompactSAXStore
+	// Deprecated: use rep.DOMStore.
+	DOMStore = rep.DOMStore
+	// Deprecated: use rep.GobStore.
+	GobStore = rep.GobStore
+	// Deprecated: use rep.BinserStore.
+	BinserStore = rep.BinserStore
+	// Deprecated: use rep.ReflectCopyStore.
+	ReflectCopyStore = rep.ReflectCopyStore
+	// Deprecated: use rep.CloneCopyStore.
+	CloneCopyStore = rep.CloneCopyStore
+	// Deprecated: use rep.RefStore.
+	RefStore = rep.RefStore
+	// Deprecated: use rep.AutoStore.
+	AutoStore = rep.AutoStore
+)
+
+// ErrNotApplicable reports that a value store cannot represent a given
+// result.
+//
+// Deprecated: use rep.ErrNotApplicable.
+var ErrNotApplicable = rep.ErrNotApplicable
+
+// NewXMLMessageKey returns the XML-message key strategy.
+//
+// Deprecated: use rep.NewXMLMessageKey.
+func NewXMLMessageKey(codec *soap.Codec) *rep.XMLMessageKey { return rep.NewXMLMessageKey(codec) }
+
+// NewGobKey returns the gob serialization key strategy.
+//
+// Deprecated: use rep.NewGobKey.
+func NewGobKey() rep.GobKey { return rep.NewGobKey() }
+
+// NewStringKey returns the string-concatenation key strategy.
+//
+// Deprecated: use rep.NewStringKey.
+func NewStringKey() rep.StringKey { return rep.NewStringKey() }
+
+// NewBinserKey returns the binary-serialization key strategy.
+//
+// Deprecated: use rep.NewBinserKey.
+func NewBinserKey(reg *typemap.Registry) *rep.BinserKey { return rep.NewBinserKey(reg) }
+
+// NewXMLMessageStore returns the XML-message representation.
+//
+// Deprecated: use rep.NewXMLMessageStore.
+func NewXMLMessageStore(codec *soap.Codec) *rep.XMLMessageStore {
+	return rep.NewXMLMessageStore(codec)
+}
+
+// NewSAXEventsStore returns the SAX-events representation.
+//
+// Deprecated: use rep.NewSAXEventsStore.
+func NewSAXEventsStore(codec *soap.Codec) *rep.SAXEventsStore { return rep.NewSAXEventsStore(codec) }
+
+// NewCompactSAXStore returns the compact SAX-events representation.
+//
+// Deprecated: use rep.NewCompactSAXStore.
+func NewCompactSAXStore(codec *soap.Codec) *rep.CompactSAXStore {
+	return rep.NewCompactSAXStore(codec)
+}
+
+// NewDOMStore returns the DOM-tree representation.
+//
+// Deprecated: use rep.NewDOMStore.
+func NewDOMStore(codec *soap.Codec) *rep.DOMStore { return rep.NewDOMStore(codec) }
+
+// NewGobStore returns the gob serialization representation.
+//
+// Deprecated: use rep.NewGobStore.
+func NewGobStore(reg *typemap.Registry) *rep.GobStore { return rep.NewGobStore(reg) }
+
+// NewBinserStore returns the binary-serialization representation.
+//
+// Deprecated: use rep.NewBinserStore.
+func NewBinserStore(reg *typemap.Registry) *rep.BinserStore { return rep.NewBinserStore(reg) }
+
+// NewReflectCopyStore returns the reflection-copy representation.
+//
+// Deprecated: use rep.NewReflectCopyStore.
+func NewReflectCopyStore(reg *typemap.Registry) *rep.ReflectCopyStore {
+	return rep.NewReflectCopyStore(reg)
+}
+
+// NewCloneCopyStore returns the clone-copy representation.
+//
+// Deprecated: use rep.NewCloneCopyStore.
+func NewCloneCopyStore() rep.CloneCopyStore { return rep.NewCloneCopyStore() }
+
+// NewRefStore returns the pass-by-reference representation.
+//
+// Deprecated: use rep.NewRefStore.
+func NewRefStore(reg *typemap.Registry, allowMutable bool) *rep.RefStore {
+	return rep.NewRefStore(reg, allowMutable)
+}
+
+// NewAutoStore returns the static Section 6 classifying representation.
+//
+// Deprecated: use rep.NewAutoStore.
+func NewAutoStore(reg *typemap.Registry, codec *soap.Codec) *rep.AutoStore {
+	return rep.NewAutoStore(reg, codec)
+}
+
+// KeyRepresentations returns the Table 2 matrix.
+//
+// Deprecated: use rep.KeyRepresentations.
+func KeyRepresentations() []rep.RepresentationInfo { return rep.KeyRepresentations() }
+
+// ValueRepresentations returns the Table 3 matrix.
+//
+// Deprecated: use rep.ValueRepresentations.
+func ValueRepresentations() []rep.RepresentationInfo { return rep.ValueRepresentations() }

@@ -2,6 +2,7 @@ package checks
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -22,19 +23,34 @@ type expectation struct {
 	pattern *regexp.Regexp
 }
 
-// runGolden loads testdata/src/<name>, runs the analyzer, and matches
-// its diagnostics against the fixture's // want comments, both ways:
-// every diagnostic needs a matching expectation and every expectation
-// needs a matching diagnostic.
+// runGolden loads testdata/src/<name> plus any fixture subpackages
+// below it, runs the analyzer, and matches its diagnostics against the
+// fixtures' // want comments, both ways: every diagnostic needs a
+// matching expectation and every expectation needs a matching
+// diagnostic. Subdirectories are listed explicitly because go list
+// wildcards never descend into testdata trees.
 func runGolden(t *testing.T, a *lint.Analyzer) {
 	t.Helper()
-	pattern := "./testdata/src/" + a.Name
-	pkgs, err := lint.Load(".", pattern)
+	root := filepath.Join("testdata", "src", a.Name)
+	patterns := []string{"./" + root}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() || path == root {
+			return err
+		}
+		if gofiles, _ := filepath.Glob(filepath.Join(path, "*.go")); len(gofiles) > 0 {
+			patterns = append(patterns, "./"+path)
+		}
+		return nil
+	})
 	if err != nil {
-		t.Fatalf("loading %s: %v", pattern, err)
+		t.Fatalf("walking %s: %v", root, err)
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
 	}
 	if len(pkgs) == 0 {
-		t.Fatalf("no packages loaded from %s", pattern)
+		t.Fatalf("no packages loaded from %v", patterns)
 	}
 
 	var wants []*expectation
@@ -65,7 +81,7 @@ func runGolden(t *testing.T, a *lint.Analyzer) {
 		}
 	}
 	if len(wants) == 0 {
-		t.Fatalf("fixture %s has no // want comments; it cannot prove the analyzer fires", pattern)
+		t.Fatalf("fixture %s has no // want comments; it cannot prove the analyzer fires", root)
 	}
 
 	diags := lint.Run(".", pkgs, []*lint.Analyzer{a})

@@ -1,0 +1,65 @@
+// Package repreg is the golden fixture for the typemapreg analyzer's
+// rep.Registry arm: a service package whose RegisterTypes hook is
+// written against the representation layer (rep.Registry delegates
+// type binding to the same underlying typemap registry), with the same
+// gaps as the typemap fixture — a nested struct and a Cloner-tagged
+// struct that are never registered.
+package repreg
+
+import (
+	"repro/internal/rep"
+	"repro/internal/typemap"
+)
+
+const ns = "urn:fixture-rep"
+
+// Order is the registered root type.
+type Order struct {
+	ID    string
+	Items []Line
+}
+
+// Line is reachable from Order's fields but never registered.
+type Line struct { // want "struct Line is serialized via internal/soap .* not registered"
+	SKU string
+	Qty int
+}
+
+// CloneDeep marks Receipt as a generated SOAP type.
+func (r *Receipt) CloneDeep() *Receipt {
+	cp := *r
+	return &cp
+}
+
+// Receipt carries Cloner support but is never registered.
+type Receipt struct { // want "struct Receipt is serialized via internal/soap .* not registered"
+	Total float64
+}
+
+// Status is registered and Cloner-tagged: fully consistent.
+type Status struct {
+	Code int
+}
+
+// CloneDeep returns a copy of s.
+func (s *Status) CloneDeep() *Status {
+	cp := *s
+	return &cp
+}
+
+// RegisterTypes binds the package's serialized structs through the
+// representation registry.
+func RegisterTypes(reg *rep.Registry) error {
+	for _, b := range []struct {
+		local string
+		proto any
+	}{
+		{"Order", Order{}},
+		{"Status", Status{}},
+	} {
+		if err := reg.RegisterType(typemap.QName{Space: ns, Local: b.local}, b.proto); err != nil {
+			return err
+		}
+	}
+	return nil
+}

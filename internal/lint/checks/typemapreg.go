@@ -18,6 +18,10 @@ import (
 //
 //	func RegisterTypes(reg *typemap.Registry) error
 //
+// or the representation-layer equivalent
+//
+//	func RegisterTypes(reg *rep.Registry) error
+//
 // it requires registration of
 //
 //   - every struct type reachable through the fields of a registered
@@ -84,7 +88,9 @@ func runTypeMapReg(pass *lint.Pass) {
 	}
 }
 
-// findRegisterTypes locates func RegisterTypes(reg *typemap.Registry) error.
+// findRegisterTypes locates func RegisterTypes(reg *typemap.Registry)
+// error, or its rep.Registry twin (which delegates type binding to the
+// same underlying registry).
 func findRegisterTypes(pkg *lint.Package) *ast.FuncDecl {
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
@@ -100,9 +106,12 @@ func findRegisterTypes(pkg *lint.Package) *ast.FuncDecl {
 			if sig.Params().Len() != 1 {
 				continue
 			}
-			if n := namedOrPointee(sig.Params().At(0).Type()); n != nil &&
-				n.Obj().Name() == "Registry" && n.Obj().Pkg() != nil &&
-				strings.HasSuffix("/"+n.Obj().Pkg().Path(), "/typemap") {
+			n := namedOrPointee(sig.Params().At(0).Type())
+			if n == nil || n.Obj().Name() != "Registry" || n.Obj().Pkg() == nil {
+				continue
+			}
+			path := "/" + n.Obj().Pkg().Path()
+			if strings.HasSuffix(path, "/typemap") || strings.HasSuffix(path, "/rep") {
 				return fn
 			}
 		}

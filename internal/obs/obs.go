@@ -81,6 +81,10 @@ const (
 	StageServerLookup Stage = "server-lookup"
 	// StageServerStore is the server-side response cache fill.
 	StageServerStore Stage = "server-store"
+	// StageRepProbe is one adaptive-selector probe of a candidate value
+	// representation: a Store plus one Load, timed off the fill path
+	// (representation = store name).
+	StageRepProbe Stage = "rep-probe"
 )
 
 // Tracer receives one callback per recorded stage: op is the operation

@@ -23,11 +23,12 @@ import (
 // Recording methods are nil-receiver safe no-ops, so optional
 // instrumentation needs no call-site guards.
 type Registry struct {
-	ops      sync.Map // string -> *OpCounters
-	reps     sync.Map // string -> *RepCounters
-	stages   sync.Map // stageKey -> *stageRec
-	counters sync.Map // string -> *Counter
-	breakers sync.Map // string -> *breakerGauge
+	ops         sync.Map // string -> *OpCounters
+	reps        sync.Map // string -> *RepCounters
+	stages      sync.Map // stageKey -> *stageRec
+	counters    sync.Map // string -> *Counter
+	breakers    sync.Map // string -> *breakerGauge
+	inspections sync.Map // string -> func() any
 }
 
 // NewRegistry returns an empty registry.
@@ -184,6 +185,20 @@ func (r *Registry) SetBreaker(endpoint, state string) {
 	g.mu.Unlock()
 }
 
+// SetInspection registers a named live-state callback evaluated at
+// snapshot time — how stateful subsystems (e.g. the adaptive
+// representation selector's decision table) expose their current view
+// through /debug/wscache without the registry knowing their types. The
+// callback must be safe for concurrent use and must return a
+// JSON-serializable value; registering the same name again replaces the
+// previous callback. A no-op on a nil registry.
+func (r *Registry) SetInspection(name string, f func() any) {
+	if r == nil || f == nil {
+		return
+	}
+	r.inspections.Store(name, f)
+}
+
 // Snapshot captures the registry as a JSON-serializable value.
 // Concurrent recording may straddle the capture; each individual
 // counter and histogram is internally consistent.
@@ -247,6 +262,13 @@ func (r *Registry) Snapshot() Snapshot {
 		g.mu.Unlock()
 		return true
 	})
+	r.inspections.Range(func(k, v any) bool {
+		if s.Inspections == nil {
+			s.Inspections = map[string]any{}
+		}
+		s.Inspections[k.(string)] = v.(func() any)()
+		return true
+	})
 	return s
 }
 
@@ -265,6 +287,9 @@ type Snapshot struct {
 	Stages          []StageSnapshot        `json:"stages,omitempty"`
 	Counters        map[string]int64       `json:"counters"`
 	Breakers        map[string]string      `json:"breakers"`
+	// Inspections holds the live state of registered subsystems
+	// (SetInspection), keyed by inspection name.
+	Inspections map[string]any `json:"inspections,omitempty"`
 }
 
 // OpSnapshot is one operation's captured counters.

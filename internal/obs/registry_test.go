@@ -171,3 +171,39 @@ func TestTracerFunc(t *testing.T) {
 		t.Errorf("calls = %d, want 1", calls)
 	}
 }
+
+func TestSetInspection(t *testing.T) {
+	r := NewRegistry()
+	n := 0
+	r.SetInspection("widget", func() any { n++; return n })
+
+	if got := r.Snapshot().Inspections["widget"]; got != 1 {
+		t.Errorf("first snapshot inspection = %v, want 1", got)
+	}
+	if got := r.Snapshot().Inspections["widget"]; got != 2 {
+		t.Errorf("inspection must be re-evaluated per snapshot, got %v", got)
+	}
+
+	// Re-registering replaces; nil callbacks and nil registries are
+	// no-ops.
+	r.SetInspection("widget", func() any { return "replaced" })
+	r.SetInspection("ignored", nil)
+	if got := r.Snapshot().Inspections["widget"]; got != "replaced" {
+		t.Errorf("inspection = %v, want replaced", got)
+	}
+	if _, ok := r.Snapshot().Inspections["ignored"]; ok {
+		t.Error("nil inspection registered")
+	}
+	var nilReg *Registry
+	nilReg.SetInspection("x", func() any { return nil })
+	if snap := nilReg.Snapshot(); snap.Inspections != nil {
+		t.Errorf("nil registry snapshot inspections = %v", snap.Inspections)
+	}
+}
+
+func TestSnapshotWithoutInspectionsOmitsMap(t *testing.T) {
+	r := NewRegistry()
+	if r.Snapshot().Inspections != nil {
+		t.Error("empty registry must not allocate an inspections map")
+	}
+}

@@ -1,0 +1,210 @@
+package rep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+)
+
+// fakeChainStore is a scripted chain member for cascade tests.
+type fakeChainStore struct {
+	name   string
+	err    error // returned by Store when non-nil
+	calls  int
+	loaded int
+}
+
+func (s *fakeChainStore) Name() string { return s.name }
+
+func (s *fakeChainStore) Store(ictx *client.Context) (any, int, error) {
+	s.calls++
+	if s.err != nil {
+		return nil, 0, s.err
+	}
+	return s.name, len(s.name), nil
+}
+
+func (s *fakeChainStore) Load(payload any) (any, error) {
+	s.loaded++
+	return payload, nil
+}
+
+// chainAuto builds an AutoStore whose chain is fully scripted.
+func chainAuto(f *fixture, stores [6]ValueStore) *AutoStore {
+	return &AutoStore{reg: f.reg, chain: stores}
+}
+
+// cloneableBox is cloneable through its pointer type and mutable (the
+// slice field), so a *cloneableBox classifies to clone — but a plain
+// cloneableBox value does not satisfy the Cloner assertion.
+type cloneableBox struct {
+	Name string
+	Tags []string
+}
+
+func (c *cloneableBox) CloneDeep() any {
+	out := *c
+	out.Tags = append([]string(nil), c.Tags...)
+	return &out
+}
+
+func TestAutoStoreCascadesOnNotApplicable(t *testing.T) {
+	// A cloneable *type* holding a non-pointer value: classification
+	// says clone (the pointer type implements Cloner), but the clone
+	// store's interface assertion on the value fails with
+	// ErrNotApplicable, so Store must fall through to reflection copy —
+	// the exact gap the ErrNotApplicable doc promises to bridge.
+	f := newFixture(t)
+	auto := NewAutoStore(f.reg, f.codec)
+
+	val := cloneableBox{Name: "value-not-pointer", Tags: []string{"t"}}
+	ictx := f.ictx(t, "get", &item{Name: "carrier"})
+	ictx.Result = val
+
+	if got := auto.Classify(ictx); got != "Copy by clone" {
+		t.Fatalf("classified %q, want Copy by clone (value of cloneable type)", got)
+	}
+	payload, _, err := auto.Store(ictx)
+	if err != nil {
+		t.Fatalf("cascade did not rescue the fill: %v", err)
+	}
+	ap := payload.(*autoPayload)
+	if ap.store.Name() != "Copy by reflection" {
+		t.Errorf("cascaded to %q, want Copy by reflection", ap.store.Name())
+	}
+	got, err := auto.Load(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(cloneableBox).Name != "value-not-pointer" {
+		t.Errorf("loaded %+v", got)
+	}
+}
+
+func TestAutoStoreCascadeOrderAndStart(t *testing.T) {
+	// Scripted chain: the classified start index is honored (earlier
+	// candidates are never consulted) and ErrNotApplicable walks the
+	// chain in order until a candidate accepts.
+	f := newFixture(t)
+	na := func(name string) *fakeChainStore {
+		return &fakeChainStore{name: name, err: fmt.Errorf("%s: %w", name, ErrNotApplicable)}
+	}
+	ref := na("ref")
+	clone := na("clone")
+	refl := na("reflect")
+	gob := &fakeChainStore{name: "gob"}
+	sax := &fakeChainStore{name: "sax"}
+	xml := &fakeChainStore{name: "xml"}
+	auto := chainAuto(f, [6]ValueStore{ref, clone, refl, gob, sax, xml})
+
+	// A cloneable pointer classifies to the clone slot: ref must not be
+	// consulted, clone and reflect decline, gob accepts.
+	ictx := f.ictx(t, "get", &cloneableItem{Name: "c"})
+	payload, size, err := auto.Store(ictx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.calls != 0 {
+		t.Errorf("ref consulted %d times; cascade must start at the classified index", ref.calls)
+	}
+	if clone.calls != 1 || refl.calls != 1 || gob.calls != 1 {
+		t.Errorf("calls = clone %d, reflect %d, gob %d; want 1 each", clone.calls, refl.calls, gob.calls)
+	}
+	if sax.calls != 0 || xml.calls != 0 {
+		t.Errorf("cascade overshot the first accepting candidate (sax %d, xml %d)", sax.calls, xml.calls)
+	}
+	if size != len("gob") {
+		t.Errorf("size = %d", size)
+	}
+	if got, err := auto.Load(payload); err != nil || got != "gob" {
+		t.Errorf("load = %#v, %v", got, err)
+	}
+}
+
+func TestAutoStoreHardErrorAborts(t *testing.T) {
+	// A non-ErrNotApplicable failure must abort the cascade, wrapped
+	// with the failing representation's name.
+	f := newFixture(t)
+	boom := errors.New("disk on fire")
+	clone := &fakeChainStore{name: "clone-x", err: fmt.Errorf("clone-x: %w", ErrNotApplicable)}
+	refl := &fakeChainStore{name: "reflect-x", err: boom}
+	sax := &fakeChainStore{name: "sax-x"}
+	auto := chainAuto(f, [6]ValueStore{
+		&fakeChainStore{name: "ref-x", err: fmt.Errorf("%w", ErrNotApplicable)},
+		clone, refl, &fakeChainStore{name: "gob-x"}, sax, &fakeChainStore{name: "xml-x"},
+	})
+
+	ictx := f.ictx(t, "get", &cloneableItem{Name: "c"})
+	_, _, err := auto.Store(ictx)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the hard error", err)
+	}
+	if !strings.Contains(err.Error(), "reflect-x") {
+		t.Errorf("error %q does not name the failing representation", err)
+	}
+	if sax.calls != 0 {
+		t.Errorf("cascade continued past a hard error")
+	}
+}
+
+func TestAutoStoreExhaustedCascade(t *testing.T) {
+	// Nothing captured, opaque result: the chain starts at the XML
+	// fallback, which declines too — the error must carry
+	// ErrNotApplicable so the cache records a representation miss, not
+	// a crash.
+	f := newFixture(t)
+	auto := NewAutoStore(f.reg, f.codec)
+	ictx := f.reqCtx("get")
+	ictx.Result = &opaqueResult{Name: "o"}
+	_, _, err := auto.Store(ictx)
+	if !errors.Is(err, ErrNotApplicable) {
+		t.Fatalf("err = %v, want ErrNotApplicable", err)
+	}
+}
+
+func TestAutoStoreNilResultRoundTrip(t *testing.T) {
+	// nil classifies as immutable and is shared by reference.
+	f := newFixture(t)
+	auto := NewAutoStore(f.reg, f.codec)
+	ictx := f.ictx(t, "get", &item{Name: "carrier"})
+	ictx.Result = nil
+	payload, _, err := auto.Store(ictx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload.(*autoPayload).store.Name() != "Pass by reference" {
+		t.Errorf("nil stored as %q", payload.(*autoPayload).store.Name())
+	}
+	got, err := auto.Load(payload)
+	if err != nil || got != nil {
+		t.Errorf("load = %#v, %v", got, err)
+	}
+}
+
+func TestAutoStoreSAXFallsThroughToXML(t *testing.T) {
+	// Opaque result with response XML but events that cannot serve:
+	// drop the recorded events and corrupt re-recording is not possible
+	// here, so instead verify the sax→xml leg with a scripted chain.
+	f := newFixture(t)
+	sax := &fakeChainStore{name: "sax-s", err: fmt.Errorf("sax: %w", ErrNotApplicable)}
+	xml := &fakeChainStore{name: "xml-s"}
+	auto := chainAuto(f, [6]ValueStore{
+		&fakeChainStore{name: "r"}, &fakeChainStore{name: "c"}, &fakeChainStore{name: "f"},
+		&fakeChainStore{name: "g"}, sax, xml,
+	})
+	ictx := f.ictx(t, "get", &item{Name: "x"})
+	ictx.Result = &opaqueResult{Name: "o"} // classifies to the sax slot
+	payload, _, err := auto.Store(ictx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sax.calls != 1 || xml.calls != 1 {
+		t.Errorf("calls = sax %d, xml %d; want 1 each", sax.calls, xml.calls)
+	}
+	if payload.(*autoPayload).store.Name() != "xml-s" {
+		t.Errorf("stored with %q", payload.(*autoPayload).store.Name())
+	}
+}

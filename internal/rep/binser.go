@@ -1,4 +1,4 @@
-package core
+package rep
 
 import (
 	"fmt"
@@ -50,7 +50,7 @@ func (k *BinserKey) AppendKey(dst []byte, ictx *client.Context) ([]byte, error) 
 		dst = append(dst, '=')
 		dst, err = k.codec.Append(dst, p.Value)
 		if err != nil {
-			return nil, fmt.Errorf("core: binser key: param %s: %w", p.Name, err)
+			return nil, fmt.Errorf("rep: binser key: param %s: %w", p.Name, err)
 		}
 	}
 	return dst, nil
@@ -88,11 +88,11 @@ func (s *BinserStore) Store(ictx *client.Context) (any, int, error) {
 func (s *BinserStore) Load(payload any) (any, error) {
 	data, ok := payload.([]byte)
 	if !ok {
-		return nil, fmt.Errorf("core: binser store: payload is %T", payload)
+		return nil, fmt.Errorf("rep: binser store: payload is %T", payload)
 	}
 	v, err := s.codec.Unmarshal(data)
 	if err != nil {
-		return nil, fmt.Errorf("core: binser store: %w", err)
+		return nil, fmt.Errorf("rep: binser store: %w", err)
 	}
 	return v, nil
 }

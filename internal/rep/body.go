@@ -1,0 +1,107 @@
+package rep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sax"
+)
+
+// BodyStore is the server-side analog of ValueStore: a representation
+// for fully encoded response envelopes held by the server response
+// cache. Store converts the encoded body into the cached payload and
+// reports its resident size; Load materializes the bytes to serve a
+// hit. Unlike ValueStore there is no object graph — the server cache
+// sits below deserialization — so the trade is purely memory versus
+// re-materialization cost.
+type BodyStore interface {
+	// Name identifies the representation in reports and flags.
+	Name() string
+	// Store converts an encoded response body into the cached payload.
+	// The body must not be retained; copy whatever is kept.
+	Store(body []byte) (payload any, size int, err error)
+	// Load materializes the encoded body from a payload. The returned
+	// slice is owned by the caller's response path and must not alias
+	// cached state that a later Load would reuse destructively.
+	Load(payload any) ([]byte, error)
+}
+
+// RawBodyStore keeps the encoded bytes as-is: zero materialization
+// cost on a hit, full body size resident. The server cache's default.
+type RawBodyStore struct{}
+
+var _ BodyStore = RawBodyStore{}
+
+// NewRawBodyStore returns the identity body representation.
+func NewRawBodyStore() RawBodyStore { return RawBodyStore{} }
+
+// Name implements BodyStore.
+func (RawBodyStore) Name() string { return "Raw bytes" }
+
+// Store implements BodyStore.
+func (RawBodyStore) Store(body []byte) (any, int, error) {
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	return cp, len(cp), nil
+}
+
+// Load implements BodyStore.
+func (RawBodyStore) Load(payload any) ([]byte, error) {
+	body, ok := payload.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("rep: raw body store: payload is %T", payload)
+	}
+	return body, nil
+}
+
+// CompactBodyStore parses the encoded body into a SAX event sequence
+// and keeps it in the string-interned compact form; a hit re-renders
+// the envelope from the events. SOAP responses are highly repetitive,
+// so resident size drops sharply in exchange for a serialization pass
+// per hit — the server-side version of the SAX-versus-XML trade the
+// client cache measures in Table 7.
+type CompactBodyStore struct{}
+
+var _ BodyStore = CompactBodyStore{}
+
+// NewCompactBodyStore returns the compact-events body representation.
+func NewCompactBodyStore() CompactBodyStore { return CompactBodyStore{} }
+
+// Name implements BodyStore.
+func (CompactBodyStore) Name() string { return "SAX events (compact)" }
+
+// Store implements BodyStore.
+func (CompactBodyStore) Store(body []byte) (any, int, error) {
+	events, err := sax.Record(body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rep: compact body store: %w", err)
+	}
+	seq := sax.Compact(events)
+	return seq, seq.MemSize(), nil
+}
+
+// Load implements BodyStore.
+func (CompactBodyStore) Load(payload any) ([]byte, error) {
+	seq, ok := payload.(*sax.CompactSequence)
+	if !ok {
+		return nil, fmt.Errorf("rep: compact body store: payload is %T", payload)
+	}
+	doc, err := sax.WriteSequence(seq.Events())
+	if err != nil {
+		return nil, fmt.Errorf("rep: compact body store: %w", err)
+	}
+	return []byte(doc), nil
+}
+
+// BodyStoreFor resolves a server body representation by name:
+// "raw" (default) or "compact-sax".
+func BodyStoreFor(name string) (BodyStore, error) {
+	switch strings.ToLower(name) {
+	case "", "raw":
+		return NewRawBodyStore(), nil
+	case "compact-sax", "compactsax", "compact":
+		return NewCompactBodyStore(), nil
+	default:
+		return nil, fmt.Errorf("rep: unknown body representation %q (have raw, compact-sax)", name)
+	}
+}

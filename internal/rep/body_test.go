@@ -1,0 +1,85 @@
+package rep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRawBodyStoreRoundTrip(t *testing.T) {
+	store := NewRawBodyStore()
+	body := []byte(`<x>hello</x>`)
+	payload, size, err := store.Store(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != len(body) {
+		t.Errorf("size = %d, want %d", size, len(body))
+	}
+	body[1] = '!' // the caller's buffer must not be retained
+	got, err := store.Load(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `<x>hello</x>` {
+		t.Errorf("load = %q", got)
+	}
+	if _, err := store.Load(42); err == nil {
+		t.Error("bad payload accepted")
+	}
+}
+
+func TestCompactBodyStoreRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	body, err := f.codec.EncodeResponse(testNS, "get", &item{Name: "x", Tags: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewCompactBodyStore()
+	payload, size, err := store.Store(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 || size >= len(body)*4 {
+		t.Errorf("resident size = %d for a %d-byte body", size, len(body))
+	}
+	got, err := store.Load(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The re-rendered envelope must decode to the same result.
+	msg, err := f.codec.DecodeEnvelope(got)
+	if err != nil {
+		t.Fatalf("re-rendered body does not decode: %v\n%s", err, got)
+	}
+	gi, ok := msg.Result().(*item)
+	if !ok || gi.Name != "x" || len(gi.Tags) != 2 {
+		t.Errorf("decoded %#v", msg.Result())
+	}
+	if _, err := store.Load(42); err == nil {
+		t.Error("bad payload accepted")
+	}
+	if _, _, err := store.Store([]byte("not xml <<<")); err == nil {
+		t.Error("unparseable body accepted")
+	}
+}
+
+func TestBodyStoreFor(t *testing.T) {
+	for name, want := range map[string]string{
+		"":            "Raw bytes",
+		"raw":         "Raw bytes",
+		"compact-sax": "SAX events (compact)",
+		"compact":     "SAX events (compact)",
+	} {
+		s, err := BodyStoreFor(name)
+		if err != nil {
+			t.Errorf("BodyStoreFor(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != want {
+			t.Errorf("BodyStoreFor(%q) = %q, want %q", name, s.Name(), want)
+		}
+	}
+	if _, err := BodyStoreFor("zip"); err == nil || !strings.Contains(err.Error(), "zip") {
+		t.Errorf("err = %v", err)
+	}
+}

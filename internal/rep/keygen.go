@@ -1,4 +1,4 @@
-package core
+package rep
 
 import (
 	"bytes"
@@ -79,7 +79,7 @@ func (k *XMLMessageKey) Key(ictx *client.Context) (string, error) {
 func (k *XMLMessageKey) AppendKey(dst []byte, ictx *client.Context) ([]byte, error) {
 	doc, err := k.codec.EncodeRequest(ictx.Namespace, ictx.Operation, ictx.Params)
 	if err != nil {
-		return nil, fmt.Errorf("core: xml key: %w", err)
+		return nil, fmt.Errorf("rep: xml key: %w", err)
 	}
 	// The endpoint is not part of the message body; prepend it so two
 	// services with identical operations do not collide.
@@ -146,13 +146,13 @@ func (GobKey) encode(buf *bytes.Buffer, ictx *client.Context) error {
 	enc := gob.NewEncoder(buf)
 	for _, p := range ictx.Params {
 		if err := registerGobValue(p.Value); err != nil {
-			return fmt.Errorf("core: gob key: param %s: %w", p.Name, err)
+			return fmt.Errorf("rep: gob key: param %s: %w", p.Name, err)
 		}
 		if err := enc.Encode(p.Name); err != nil {
-			return fmt.Errorf("core: gob key: %w", err)
+			return fmt.Errorf("rep: gob key: %w", err)
 		}
 		if err := encodeGobAny(enc, p.Value); err != nil {
-			return fmt.Errorf("core: gob key: param %s: %w", p.Name, err)
+			return fmt.Errorf("rep: gob key: param %s: %w", p.Name, err)
 		}
 	}
 	return nil
@@ -196,7 +196,7 @@ func (StringKey) AppendKey(dst []byte, ictx *client.Context) ([]byte, error) {
 		var err error
 		dst, err = appendString(dst, p.Value)
 		if err != nil {
-			return nil, fmt.Errorf("core: string key: param %s: %w", p.Name, err)
+			return nil, fmt.Errorf("rep: string key: param %s: %w", p.Name, err)
 		}
 	}
 	return dst, nil

@@ -1,0 +1,458 @@
+package rep
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+// SelectorConfig configures an AdaptiveSelector. Registry is required;
+// everything else defaults.
+type SelectorConfig struct {
+	// Registry supplies the candidate representations and the static
+	// classifier's type analysis. Required.
+	Registry *Registry
+
+	// ProbeEvery probes the candidate set on one in this many Store
+	// calls per (operation, result type) class; the other calls pay a
+	// single atomic increment over the static path. Default 8.
+	ProbeEvery int
+
+	// SampleLoadEvery times one in this many Load calls per class to
+	// keep the load-cost estimate live after the probe phase; the
+	// other hits pay only an atomic increment, keeping the hit path
+	// within the obs layer's 5% overhead budget. Default 16.
+	SampleLoadEvery int
+
+	// MinSamples is how many probe samples a representation needs
+	// before the cost model may override the static prior. Default 3.
+	MinSamples int
+
+	// Alpha is the EWMA smoothing factor applied to new samples, in
+	// (0, 1]. Default 0.25.
+	Alpha float64
+
+	// ByteBudget is the byte budget the cost model scores payload size
+	// against — per-shard capacity when the selector serves a core
+	// cache (core wires MaxBytes/shards in), process-wide otherwise.
+	// Larger payloads are charged a pro-rata share of a refill.
+	// Default 1 MiB.
+	ByteBudget int64
+
+	// Clock injects time for probe measurements (clockinject
+	// discipline); nil means the system clock.
+	Clock clock.Func
+
+	// Obs, when non-nil, receives StageRepProbe latencies per candidate
+	// and serves the live decision table at /debug/wscache under the
+	// "rep_selector" inspection key.
+	Obs *obs.Registry
+}
+
+// AdaptiveSelector is a ValueStore that picks the value representation
+// per (operation, result type) from measured cost, closing the loop
+// the paper's static Section 6 classifier leaves open. It records
+// Store/Load latency and payload size per candidate representation via
+// EWMA samples gathered on 1-in-N probe fills, scores each applicable
+// candidate by expected hit cost under the byte budget, and switches a
+// class's representation when the measured best disagrees with the
+// static choice. Until a class has MinSamples probe rounds — and
+// permanently, for candidates that keep failing — the static AutoStore
+// classifier is the prior and fallback.
+type AdaptiveSelector struct {
+	cfg   SelectorConfig
+	now   clock.Func
+	prior *AutoStore
+	// candidates is the registry's value specs at construction time,
+	// in registration order (= Table 3 preference order for ties).
+	candidates []*ValueSpec
+	classes    sync.Map // classKey -> *classState
+}
+
+// classKey identifies one decision class: an operation and the dynamic
+// result type it returned.
+type classKey struct {
+	op  string
+	typ reflect.Type
+}
+
+// classState is one class's cost model and current decision.
+type classState struct {
+	stores atomic.Int64 // Store calls, gates probing
+	loads  atomic.Int64 // Load calls, gates sampling
+	// chosen is the measured-cost decision; nil until the model has
+	// MinSamples for some candidate, whereupon the static prior stops
+	// deciding (but keeps serving as the Store-failure fallback).
+	chosen atomic.Pointer[ValueSpec]
+
+	mu     sync.Mutex
+	models map[string]*costModel // candidate name -> model
+}
+
+// costModel is the EWMA cost estimate for one (class, representation).
+type costModel struct {
+	samples int64
+	storeNS ewma
+	loadNS  ewma
+	bytes   ewma
+}
+
+// ewma is an exponentially weighted moving average.
+type ewma struct {
+	val float64
+	set bool
+}
+
+// observe folds a sample in with smoothing factor alpha.
+func (e *ewma) observe(v, alpha float64) {
+	if !e.set {
+		e.val, e.set = v, true
+		return
+	}
+	e.val += alpha * (v - e.val)
+}
+
+var _ ValueStore = (*AdaptiveSelector)(nil)
+
+// Selector defaults.
+const (
+	defaultProbeEvery      = 8
+	defaultSampleLoadEvery = 16
+	defaultMinSamples      = 3
+	defaultAlpha           = 0.25
+	defaultByteBudget      = 1 << 20
+)
+
+// NewAdaptiveSelector returns a selector over cfg.Registry's
+// representations.
+func NewAdaptiveSelector(cfg SelectorConfig) (*AdaptiveSelector, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("rep: selector: SelectorConfig.Registry is required")
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = defaultProbeEvery
+	}
+	if cfg.SampleLoadEvery <= 0 {
+		cfg.SampleLoadEvery = defaultSampleLoadEvery
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = defaultMinSamples
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = defaultAlpha
+	}
+	if cfg.ByteBudget <= 0 {
+		cfg.ByteBudget = defaultByteBudget
+	}
+	s := &AdaptiveSelector{
+		cfg:        cfg,
+		now:        clock.Or(cfg.Clock),
+		prior:      NewAutoStore(cfg.Registry.Types(), cfg.Registry.Codec()),
+		candidates: cfg.Registry.Values(),
+	}
+	cfg.Obs.SetInspection("rep_selector", func() any { return s.DecisionTable() })
+	return s, nil
+}
+
+// Name implements ValueStore.
+func (s *AdaptiveSelector) Name() string { return "Adaptive (cost model)" }
+
+// Store implements ValueStore. One call in ProbeEvery per class runs a
+// probe round — every applicable candidate's Store plus one Load,
+// timed, folded into the class's cost model, and the decision
+// re-scored; the winner's payload from the round is what gets cached,
+// so probing never doubles the fill work for the chosen
+// representation. Other calls delegate to the current decision (the
+// measured choice when the model is warm, the static classifier
+// before that), falling back to the static cascade if the chosen
+// representation declines the concrete value.
+func (s *AdaptiveSelector) Store(ictx *client.Context) (any, int, error) {
+	st := s.classFor(ictx)
+	n := st.stores.Add(1)
+	if n == 1 || n%int64(s.cfg.ProbeEvery) == 0 {
+		if payload, size, ok := s.probe(st, ictx); ok {
+			//lint:ignore aliascopy probe's payload comes from a registered representation's Store, which already enforces the copy discipline
+			return payload, size, nil
+		}
+		// Probe found no workable candidate; the static cascade's
+		// error is the authoritative one.
+	}
+	if spec := st.chosen.Load(); spec != nil && spec.Applicable(ictx) {
+		payload, size, err := spec.Store.Store(ictx)
+		if err == nil {
+			//lint:ignore aliascopy the payload comes from a registered representation's Store, which already enforces the copy discipline; the wrapper only routes Load back to it
+			return &selPayload{store: spec.Store, stage: spec.Stage, state: st,
+				model: st.model(spec.Name), payload: payload}, size, nil
+		}
+		// The measured choice declined this concrete value (type-level
+		// applicability is a prediction); fall back to the prior.
+	}
+	payload, size, err := s.prior.Store(ictx)
+	if err != nil {
+		return nil, 0, err
+	}
+	//lint:ignore aliascopy the payload is AutoStore's, which already enforces the copy discipline per classified representation
+	return &selPayload{store: s.prior, stage: s.prior.Name(), state: st, payload: payload}, size, nil
+}
+
+// Load implements ValueStore. One call in SampleLoadEvery per class is
+// timed and folded into the producing representation's load-cost
+// estimate; the rest pay one atomic increment over the direct Load.
+func (s *AdaptiveSelector) Load(payload any) (any, error) {
+	sp, ok := payload.(*selPayload)
+	if !ok {
+		return nil, fmt.Errorf("rep: selector: payload is %T", payload)
+	}
+	if sp.model != nil {
+		if n := sp.state.loads.Add(1); n%int64(s.cfg.SampleLoadEvery) == 0 {
+			start := s.now()
+			v, err := sp.store.Load(sp.payload)
+			d := s.now().Sub(start)
+			if err == nil {
+				sp.state.mu.Lock()
+				sp.model.loadNS.observe(float64(d.Nanoseconds()), s.cfg.Alpha)
+				sp.state.mu.Unlock()
+			}
+			return v, err
+		}
+	}
+	return sp.store.Load(sp.payload)
+}
+
+// selPayload routes a cached payload back to the representation that
+// produced it and to the class state for sampled load timing. model is
+// nil when the static prior produced the payload (its own autoPayload
+// already routes the load).
+type selPayload struct {
+	store   ValueStore
+	stage   string
+	state   *classState
+	model   *costModel
+	payload any
+}
+
+// classFor returns (creating if needed) the decision class for an
+// invocation.
+func (s *AdaptiveSelector) classFor(ictx *client.Context) *classState {
+	key := classKey{op: ictx.Operation, typ: reflect.TypeOf(ictx.Result)}
+	if v, ok := s.classes.Load(key); ok {
+		return v.(*classState)
+	}
+	v, _ := s.classes.LoadOrStore(key, &classState{models: make(map[string]*costModel)})
+	return v.(*classState)
+}
+
+// model returns (creating if needed) the cost model for one candidate
+// within a class.
+func (st *classState) model(name string) *costModel {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m, ok := st.models[name]
+	if !ok {
+		m = &costModel{}
+		st.models[name] = m
+	}
+	return m
+}
+
+// probe runs one probe round: every applicable candidate stores the
+// invocation and loads it back once, timed; samples are folded into
+// the class's models and the decision re-scored. The winner's payload
+// is returned for caching (so the probe round costs extra candidate
+// encodes, never an extra winner encode). ok is false when no
+// candidate produced a payload.
+func (s *AdaptiveSelector) probe(st *classState, ictx *client.Context) (any, int, bool) {
+	type outcome struct {
+		spec    *ValueSpec
+		payload any
+		size    int
+	}
+	var produced []outcome
+	reg := s.cfg.Obs
+	for _, spec := range s.candidates {
+		if !spec.Applicable(ictx) {
+			continue
+		}
+		start := s.now()
+		payload, size, err := spec.Store.Store(ictx)
+		storeD := s.now().Sub(start)
+		if err != nil {
+			// Applicability said yes but the concrete value disagreed;
+			// record the failure so the model never picks this
+			// candidate, and move on.
+			reg.Stage(obs.StageRepProbe, spec.Stage, storeD, err)
+			continue
+		}
+		start = s.now()
+		_, lerr := spec.Store.Load(payload)
+		loadD := s.now().Sub(start)
+		reg.Stage(obs.StageRepProbe, spec.Stage, storeD+loadD, lerr)
+		if lerr != nil {
+			continue
+		}
+		st.mu.Lock()
+		m, ok := st.models[spec.Name]
+		if !ok {
+			m = &costModel{}
+			st.models[spec.Name] = m
+		}
+		m.samples++
+		m.storeNS.observe(float64(storeD.Nanoseconds()), s.cfg.Alpha)
+		m.loadNS.observe(float64(loadD.Nanoseconds()), s.cfg.Alpha)
+		m.bytes.observe(float64(size), s.cfg.Alpha)
+		st.mu.Unlock()
+		produced = append(produced, outcome{spec: spec, payload: payload, size: size})
+	}
+	if len(produced) == 0 {
+		return nil, 0, false
+	}
+	best := s.decide(st)
+	if best == nil {
+		// The published decision is still cold (MinSamples not reached),
+		// but this round measured every produced candidate: the entry
+		// being filled may live for a long time, so pick the
+		// currently-cheapest rather than defaulting to Table 3 order
+		// (which leads with the most expensive hit, the XML message).
+		st.mu.Lock()
+		bestScore := 0.0
+		for _, o := range produced {
+			m, ok := st.models[o.spec.Name]
+			if !ok {
+				continue
+			}
+			if score := s.score(m); best == nil || score < bestScore {
+				best, bestScore = o.spec, score
+			}
+		}
+		st.mu.Unlock()
+	}
+	for _, o := range produced {
+		if o.spec == best {
+			return &selPayload{store: o.spec.Store, stage: o.spec.Stage, state: st,
+				model: st.model(o.spec.Name), payload: o.payload}, o.size, true
+		}
+	}
+	// The scored best was not producible this round (e.g. its probe
+	// failed); cache the first produced payload.
+	o := produced[0]
+	return &selPayload{store: o.spec.Store, stage: o.spec.Stage, state: st,
+		model: st.model(o.spec.Name), payload: o.payload}, o.size, true
+}
+
+// decide re-scores the class and publishes the measured-cost choice
+// once some candidate has MinSamples. It returns the published choice
+// (nil while the model is cold).
+func (s *AdaptiveSelector) decide(st *classState) *ValueSpec {
+	st.mu.Lock()
+	var best *ValueSpec
+	bestScore := 0.0
+	for _, spec := range s.candidates {
+		m, ok := st.models[spec.Name]
+		if !ok || m.samples < int64(s.cfg.MinSamples) {
+			continue
+		}
+		score := s.score(m)
+		if best == nil || score < bestScore {
+			best, bestScore = spec, score
+		}
+	}
+	st.mu.Unlock()
+	if best != nil {
+		st.chosen.Store(best)
+	}
+	return st.chosen.Load()
+}
+
+// score is a model's expected cost of serving one hit: the measured
+// load (copy-out) latency, plus a capacity charge — the payload's
+// pro-rata share of the byte budget times the cost of refilling it
+// (its store latency). A representation whose payloads crowd out
+// budget pays for the evictions it causes; a compact one gets credit
+// even when its copy-out is a shade slower.
+func (s *AdaptiveSelector) score(m *costModel) float64 {
+	return m.loadNS.val + m.bytes.val/float64(s.cfg.ByteBudget)*m.storeNS.val
+}
+
+// Decision is one row of the selector's live decision table.
+type Decision struct {
+	Operation  string          `json:"operation"`
+	ResultType string          `json:"result_type"`
+	Chosen     string          `json:"chosen"`
+	Source     string          `json:"source"` // "measured" or "prior"
+	Stores     int64           `json:"stores"`
+	Costs      []CandidateCost `json:"costs,omitempty"`
+}
+
+// CandidateCost is one candidate's current cost estimate within a
+// decision class.
+type CandidateCost struct {
+	Rep     string  `json:"rep"`
+	Samples int64   `json:"samples"`
+	StoreNS float64 `json:"store_ns"`
+	LoadNS  float64 `json:"load_ns"`
+	Bytes   float64 `json:"bytes"`
+	Score   float64 `json:"score"`
+}
+
+// DecisionTable returns the selector's current per-class decisions and
+// cost estimates, sorted by operation then result type. It is what
+// /debug/wscache serves under inspections.rep_selector and what the
+// representations example prints.
+func (s *AdaptiveSelector) DecisionTable() []Decision {
+	var out []Decision
+	s.classes.Range(func(k, v any) bool {
+		key := k.(classKey)
+		st := v.(*classState)
+		d := Decision{
+			Operation:  key.op,
+			ResultType: typeName(key.typ),
+			Stores:     st.stores.Load(),
+		}
+		if spec := st.chosen.Load(); spec != nil {
+			d.Chosen, d.Source = spec.Store.Name(), "measured"
+		} else {
+			d.Chosen, d.Source = s.prior.Name(), "prior"
+		}
+		st.mu.Lock()
+		for name, m := range st.models {
+			spec, err := s.cfg.Registry.ValueSpecFor(name)
+			repName := name
+			if err == nil {
+				repName = spec.Store.Name()
+			}
+			d.Costs = append(d.Costs, CandidateCost{
+				Rep:     repName,
+				Samples: m.samples,
+				StoreNS: m.storeNS.val,
+				LoadNS:  m.loadNS.val,
+				Bytes:   m.bytes.val,
+				Score:   s.score(m),
+			})
+		}
+		st.mu.Unlock()
+		sort.Slice(d.Costs, func(i, j int) bool { return d.Costs[i].Score < d.Costs[j].Score })
+		out = append(out, d)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Operation != out[j].Operation {
+			return out[i].Operation < out[j].Operation
+		}
+		return out[i].ResultType < out[j].ResultType
+	})
+	return out
+}
+
+// typeName renders a class's result type for the decision table.
+func typeName(t reflect.Type) string {
+	if t == nil {
+		return "<nil>"
+	}
+	return t.String()
+}

@@ -1,4 +1,4 @@
-package core
+package rep
 
 // RepresentationInfo is one row of the paper's descriptive matrices:
 // Table 2 (cache key representations) and Table 3 (cache value

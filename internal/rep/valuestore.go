@@ -1,4 +1,4 @@
-package core
+package rep
 
 import (
 	"errors"
@@ -35,7 +35,7 @@ type ValueStore interface {
 // ErrNotApplicable reports that a value store cannot represent a given
 // result; AutoStore and callers use it to fall through to the next
 // candidate.
-var ErrNotApplicable = errors.New("core: representation not applicable to this result type")
+var ErrNotApplicable = errors.New("rep: representation not applicable to this result type")
 
 // XMLMessageStore caches the response XML message itself (Section
 // 4.2.1). Load performs a full parse and deserialization; no
@@ -57,7 +57,7 @@ func (s *XMLMessageStore) Name() string { return "XML message" }
 // Store implements ValueStore.
 func (s *XMLMessageStore) Store(ictx *client.Context) (any, int, error) {
 	if len(ictx.ResponseXML) == 0 {
-		return nil, 0, fmt.Errorf("core: xml store: invocation captured no response XML")
+		return nil, 0, fmt.Errorf("rep: xml store: %w: invocation captured no response XML", ErrNotApplicable)
 	}
 	// Copy: the context's buffer belongs to the transport.
 	doc := make([]byte, len(ictx.ResponseXML))
@@ -69,7 +69,7 @@ func (s *XMLMessageStore) Store(ictx *client.Context) (any, int, error) {
 func (s *XMLMessageStore) Load(payload any) (any, error) {
 	doc, ok := payload.([]byte)
 	if !ok {
-		return nil, fmt.Errorf("core: xml store: payload is %T", payload)
+		return nil, fmt.Errorf("rep: xml store: payload is %T", payload)
 	}
 	msg, err := s.codec.DecodeEnvelope(doc)
 	if err != nil {
@@ -104,14 +104,14 @@ func (s *SAXEventsStore) Store(ictx *client.Context) (any, int, error) {
 	events := ictx.ResponseEvents
 	if len(events) == 0 {
 		if len(ictx.ResponseXML) == 0 {
-			return nil, 0, fmt.Errorf("core: sax store: invocation captured neither events nor XML")
+			return nil, 0, fmt.Errorf("rep: sax store: %w: invocation captured neither events nor XML", ErrNotApplicable)
 		}
 		// The client did not record during the response parse; record
 		// now from the raw message (one extra parse on the miss path).
 		var err error
 		events, err = sax.Record(ictx.ResponseXML)
 		if err != nil {
-			return nil, 0, fmt.Errorf("core: sax store: %w", err)
+			return nil, 0, fmt.Errorf("rep: sax store: %w", err)
 		}
 	}
 	seq := make([]sax.Event, len(events))
@@ -123,7 +123,7 @@ func (s *SAXEventsStore) Store(ictx *client.Context) (any, int, error) {
 func (s *SAXEventsStore) Load(payload any) (any, error) {
 	events, ok := payload.([]sax.Event)
 	if !ok {
-		return nil, fmt.Errorf("core: sax store: payload is %T", payload)
+		return nil, fmt.Errorf("rep: sax store: payload is %T", payload)
 	}
 	msg, err := s.codec.DecodeEnvelopeEvents(events)
 	if err != nil {
@@ -165,10 +165,10 @@ func (s *DOMStore) Store(ictx *client.Context) (any, int, error) {
 	case len(ictx.ResponseXML) > 0:
 		doc, err = dom.Parse(ictx.ResponseXML)
 	default:
-		return nil, 0, fmt.Errorf("core: dom store: invocation captured neither events nor XML")
+		return nil, 0, fmt.Errorf("rep: dom store: %w: invocation captured neither events nor XML", ErrNotApplicable)
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: dom store: %w", err)
+		return nil, 0, fmt.Errorf("rep: dom store: %w", err)
 	}
 	return &domPayload{
 		doc:      doc,
@@ -187,7 +187,7 @@ type domPayload struct {
 func (s *DOMStore) Load(payload any) (any, error) {
 	p, ok := payload.(*domPayload)
 	if !ok {
-		return nil, fmt.Errorf("core: dom store: payload is %T", payload)
+		return nil, fmt.Errorf("rep: dom store: payload is %T", payload)
 	}
 	// Multiref envelopes need the structural resolution pass; plain
 	// envelopes stream the tree straight into the deserializer.
@@ -239,12 +239,12 @@ func (s *CompactSAXStore) Store(ictx *client.Context) (any, int, error) {
 	events := ictx.ResponseEvents
 	if len(events) == 0 {
 		if len(ictx.ResponseXML) == 0 {
-			return nil, 0, fmt.Errorf("core: compact sax store: invocation captured neither events nor XML")
+			return nil, 0, fmt.Errorf("rep: compact sax store: %w: invocation captured neither events nor XML", ErrNotApplicable)
 		}
 		var err error
 		events, err = sax.Record(ictx.ResponseXML)
 		if err != nil {
-			return nil, 0, fmt.Errorf("core: compact sax store: %w", err)
+			return nil, 0, fmt.Errorf("rep: compact sax store: %w", err)
 		}
 	}
 	seq := sax.Compact(events)
@@ -263,7 +263,7 @@ type compactSAXPayload struct {
 func (s *CompactSAXStore) Load(payload any) (any, error) {
 	p, ok := payload.(*compactSAXPayload)
 	if !ok {
-		return nil, fmt.Errorf("core: compact sax store: payload is %T", payload)
+		return nil, fmt.Errorf("rep: compact sax store: payload is %T", payload)
 	}
 	if p.multiRef {
 		// href resolution needs a structural pass; rematerialize.
@@ -319,7 +319,7 @@ func (s *GobStore) Store(ictx *client.Context) (any, int, error) {
 	}
 	data, err := gobEncode(ictx.Result)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: gob store: %w", err)
+		return nil, 0, fmt.Errorf("rep: gob store: %w", err)
 	}
 	return data, len(data), nil
 }
@@ -328,11 +328,11 @@ func (s *GobStore) Store(ictx *client.Context) (any, int, error) {
 func (s *GobStore) Load(payload any) (any, error) {
 	data, ok := payload.([]byte)
 	if !ok {
-		return nil, fmt.Errorf("core: gob store: payload is %T", payload)
+		return nil, fmt.Errorf("rep: gob store: payload is %T", payload)
 	}
 	v, err := gobDecode(data)
 	if err != nil {
-		return nil, fmt.Errorf("core: gob store: %w", err)
+		return nil, fmt.Errorf("rep: gob store: %w", err)
 	}
 	return v, nil
 }
@@ -364,7 +364,7 @@ func (s *ReflectCopyStore) Store(ictx *client.Context) (any, int, error) {
 	}
 	cp, err := deepcopy.Value(ictx.Result)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: reflect store: %w", err)
+		return nil, 0, fmt.Errorf("rep: reflect store: %w", err)
 	}
 	return cp, memsize.Of(cp), nil
 }
@@ -373,7 +373,7 @@ func (s *ReflectCopyStore) Store(ictx *client.Context) (any, int, error) {
 func (s *ReflectCopyStore) Load(payload any) (any, error) {
 	cp, err := deepcopy.Value(payload)
 	if err != nil {
-		return nil, fmt.Errorf("core: reflect store: %w", err)
+		return nil, fmt.Errorf("rep: reflect store: %w", err)
 	}
 	return cp, nil
 }
@@ -405,7 +405,7 @@ func (CloneCopyStore) Store(ictx *client.Context) (any, int, error) {
 func (CloneCopyStore) Load(payload any) (any, error) {
 	cl, ok := payload.(typemap.Cloner)
 	if !ok {
-		return nil, fmt.Errorf("core: clone store: payload %T lost its Cloner", payload)
+		return nil, fmt.Errorf("rep: clone store: payload %T lost its Cloner", payload)
 	}
 	return cl.CloneDeep(), nil
 }
@@ -448,100 +448,4 @@ func (s *RefStore) Load(payload any) (any, error) {
 	return payload, nil
 }
 
-// AutoStore implements the optimal configuration of Section 6: at run
-// time it classifies each result and delegates to the best applicable
-// representation:
-//
-//	a) immutable types            → pass by reference
-//	b) Cloner implementations     → copy by clone (generated classes)
-//	c) bean-type object graphs    → copy by reflection
-//	d) gob-encodable graphs       → gob serialization
-//	e) everything else            → SAX event sequence
-//
-// The paper's list omits clone (its WSDL compiler did not yet emit
-// clone methods) but argues it should; ours does, so clone slots in
-// right after immutability. Classification is cached per type by the
-// registry, so steady-state dispatch is two map lookups.
-type AutoStore struct {
-	reg     *typemap.Registry
-	ref     *RefStore
-	clone   CloneCopyStore
-	reflect *ReflectCopyStore
-	gob     *GobStore
-	sax     *SAXEventsStore
-	xml     *XMLMessageStore
-}
-
-var _ ValueStore = (*AutoStore)(nil)
-
-// NewAutoStore returns the run-time classifying representation.
-func NewAutoStore(reg *typemap.Registry, codec *soap.Codec) *AutoStore {
-	return &AutoStore{
-		reg:     reg,
-		ref:     NewRefStore(reg, false),
-		clone:   NewCloneCopyStore(),
-		reflect: NewReflectCopyStore(reg),
-		gob:     NewGobStore(reg),
-		sax:     NewSAXEventsStore(codec),
-		xml:     NewXMLMessageStore(codec),
-	}
-}
-
-// Name implements ValueStore.
-func (s *AutoStore) Name() string { return "Auto (optimal configuration)" }
-
-// Store implements ValueStore. The payload is wrapped so Load knows
-// which representation produced it.
-func (s *AutoStore) Store(ictx *client.Context) (any, int, error) {
-	chosen := s.classify(ictx)
-	payload, size, err := chosen.Store(ictx)
-	if err != nil {
-		return nil, 0, err
-	}
-	//lint:ignore aliascopy chosen is one of s's member stores picked by classification; it only reads ictx and is not data reachable from it
-	return &autoPayload{store: chosen, payload: payload}, size, nil
-}
-
-// Load implements ValueStore.
-func (s *AutoStore) Load(payload any) (any, error) {
-	ap, ok := payload.(*autoPayload)
-	if !ok {
-		return nil, fmt.Errorf("core: auto store: payload is %T", payload)
-	}
-	return ap.store.Load(ap.payload)
-}
-
-// Classify reports which representation AutoStore would choose for the
-// invocation, for diagnostics and the representation example binary.
-func (s *AutoStore) Classify(ictx *client.Context) string {
-	return s.classify(ictx).Name()
-}
-
-// classify picks the representation per the Section 6 decision list.
-func (s *AutoStore) classify(ictx *client.Context) ValueStore {
-	r := ictx.Result
-	if r == nil {
-		return s.ref // nil is trivially immutable
-	}
-	info := s.reg.InfoFor(r)
-	switch {
-	case info.IsImmutable:
-		return s.ref
-	case info.IsCloneable:
-		return s.clone
-	case info.IsBean:
-		return s.reflect
-	case info.IsGobSafe:
-		return s.gob
-	case len(ictx.ResponseEvents) > 0 || len(ictx.ResponseXML) > 0:
-		return s.sax
-	default:
-		return s.xml
-	}
-}
-
-// autoPayload pairs a payload with the representation that created it.
-type autoPayload struct {
-	store   ValueStore
-	payload any
-}
+// AutoStore lives in auto.go.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -9,6 +10,40 @@ import (
 	"repro/internal/obs"
 	"repro/internal/soap"
 )
+
+// BodyStore is the resident representation for cached response bodies.
+// It is declared here (consumer-side) rather than imported so the
+// server package stays independent of the client stack; the rep
+// package's body stores (rep.RawBodyStore, rep.CompactBodyStore — see
+// rep.BodyStoreFor) satisfy it structurally.
+type BodyStore interface {
+	// Name identifies the representation in reports and flags.
+	Name() string
+	// Store converts an encoded response body into the cached payload
+	// and reports its resident size. The body must not be retained.
+	Store(body []byte) (payload any, size int, err error)
+	// Load materializes the encoded body from a payload.
+	Load(payload any) ([]byte, error)
+}
+
+// rawBody is the default BodyStore: the encoded bytes as-is.
+type rawBody struct{}
+
+func (rawBody) Name() string { return "Raw bytes" }
+
+func (rawBody) Store(body []byte) (any, int, error) {
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	return cp, len(cp), nil
+}
+
+func (rawBody) Load(payload any) ([]byte, error) {
+	body, ok := payload.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("server: raw body payload is %T", payload)
+	}
+	return body, nil
+}
 
 // ResponseCache is the server-side counterpart of the client cache: it
 // stores fully encoded response envelopes keyed by the raw request
@@ -28,6 +63,7 @@ type ResponseCache struct {
 	maxEntries int
 	cacheable  func(operation string) bool
 	now        func() time.Time
+	body       BodyStore
 
 	// reg backs the hit/miss counters (never nil; Config.Obs or a
 	// private registry). timed gates stage latency recording, on only
@@ -44,10 +80,12 @@ type ResponseCache struct {
 	tail  *respEntry
 }
 
-// respEntry is one cached encoded response, a node in the LRU list.
+// respEntry is one cached encoded response, a node in the LRU list. The
+// payload is whatever the configured BodyStore produced from the
+// encoded body (raw bytes by default).
 type respEntry struct {
 	key        string
-	body       []byte
+	payload    any
 	expires    time.Time
 	prev, next *respEntry
 }
@@ -71,6 +109,10 @@ type ResponseCacheConfig struct {
 	// Tracer, when non-nil, receives an OnStage callback per recorded
 	// stage. Stage timing is on when either Obs or Tracer is set.
 	Tracer obs.Tracer
+	// Body chooses the resident representation for cached response
+	// bodies (paper Table 3 applied server-side); nil keeps raw bytes.
+	// rep.BodyStoreFor resolves the named implementations.
+	Body BodyStore
 }
 
 // NewResponseCache wraps a Dispatcher with server-side response
@@ -82,12 +124,17 @@ func NewResponseCache(inner *Dispatcher, cfg ResponseCacheConfig) *ResponseCache
 	}
 	now := clock.Or(cfg.Clock)
 	reg := obs.Or(cfg.Obs)
+	body := cfg.Body
+	if body == nil {
+		body = rawBody{}
+	}
 	return &ResponseCache{
 		inner:      inner,
 		ttl:        cfg.TTL,
 		maxEntries: maxEntries,
 		cacheable:  cfg.Cacheable,
 		now:        now,
+		body:       body,
 		reg:        reg,
 		hits:       reg.Counter("server.hits"),
 		misses:     reg.Counter("server.misses"),
@@ -157,10 +204,28 @@ func (c *ResponseCache) lookup(key, op string) ([]byte, bool) {
 	return body, ok
 }
 
-// lookupEntry finds a fresh entry under the lock.
+// lookupEntry finds a fresh entry under the lock and materialises its
+// body from the resident representation.
 func (c *ResponseCache) lookupEntry(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	payload, ok := c.lookupPayloadLocked(key)
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	// Load outside the lock: for non-raw representations this re-renders
+	// the body and must not serialize concurrent hits.
+	body, err := c.body.Load(payload)
+	if err != nil {
+		// A payload the store can no longer serve counts as a miss; the
+		// entry is replaced on the refill.
+		return nil, false
+	}
+	return body, true
+}
+
+// lookupPayloadLocked returns the resident payload for a fresh entry.
+func (c *ResponseCache) lookupPayloadLocked(key string) (any, bool) {
 	e, ok := c.table[key]
 	if !ok {
 		return nil, false
@@ -170,7 +235,7 @@ func (c *ResponseCache) lookupEntry(key string) ([]byte, bool) {
 		return nil, false
 	}
 	c.moveToFrontLocked(e)
-	return e.body, true
+	return e.payload, true
 }
 
 // store inserts a response; op names the operation for stage
@@ -186,21 +251,25 @@ func (c *ResponseCache) store(key, op string, body []byte) {
 	}
 }
 
-// storeEntry copies and inserts the response body.
+// storeEntry converts the response body to its resident representation
+// and inserts it. Bodies the representation cannot hold (e.g. a
+// non-XML payload under compact SAX) are simply not cached.
 func (c *ResponseCache) storeEntry(key string, body []byte) {
 	var expires time.Time
 	if c.ttl > 0 {
 		expires = c.now().Add(c.ttl)
 	}
-	cp := make([]byte, len(body))
-	copy(cp, body)
+	payload, _, err := c.body.Store(body)
+	if err != nil {
+		return
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old, ok := c.table[key]; ok {
 		c.removeLocked(old)
 	}
-	e := &respEntry{key: key, body: cp, expires: expires}
+	e := &respEntry{key: key, payload: payload, expires: expires}
 	c.table[key] = e
 	c.pushFrontLocked(e)
 	for len(c.table) > c.maxEntries && c.tail != nil {
@@ -240,7 +309,7 @@ func (c *ResponseCache) moveToFrontLocked(e *respEntry) {
 func (c *ResponseCache) removeLocked(e *respEntry) {
 	delete(c.table, e.key)
 	c.unlinkLocked(e)
-	e.body = nil
+	e.payload = nil
 }
 
 func (c *ResponseCache) unlinkLocked(e *respEntry) {

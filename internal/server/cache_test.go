@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/rep"
 	"repro/internal/soap"
 	"repro/internal/typemap"
 )
@@ -225,5 +226,59 @@ func TestSniffOperation(t *testing.T) {
 	}
 	if op, err := soap.SniffOperation([]byte(`not xml`)); err == nil && op != "" {
 		t.Error("garbage accepted")
+	}
+}
+
+// failingBody declines every store, so nothing is ever cached.
+type failingBody struct{}
+
+func (failingBody) Name() string                        { return "failing" }
+func (failingBody) Store(body []byte) (any, int, error) { return nil, 0, fmt.Errorf("nope") }
+func (failingBody) Load(payload any) ([]byte, error)    { return nil, fmt.Errorf("nope") }
+
+func TestResponseCacheCompactBody(t *testing.T) {
+	// With the compact-SAX resident representation, a hit re-renders the
+	// envelope from the event sequence: the served bytes must still be a
+	// decodable response carrying the same result.
+	c, codec, calls := newCachedFixture(t, ResponseCacheConfig{Body: rep.NewCompactBodyStore()})
+	req, _ := codec.EncodeRequest(ns, "search", []soap.Param{{Name: "q", Value: "compact"}})
+
+	if _, _, err := c.Handle(req); err != nil {
+		t.Fatal(err)
+	}
+	resp, fault, err := c.Handle(req)
+	if err != nil || fault {
+		t.Fatalf("err=%v fault=%v", err, fault)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("handler calls = %d, want 1 (second request should hit)", calls.Load())
+	}
+	msg, err := codec.DecodeEnvelope(resp)
+	if err != nil {
+		t.Fatalf("re-rendered hit does not decode: %v", err)
+	}
+	if msg.Result().(*pair).Value != "compact" {
+		t.Errorf("result = %+v", msg.Result())
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestResponseCacheBodyStoreFailureSkipsCaching(t *testing.T) {
+	// A body the representation cannot hold is served but not cached;
+	// every request reaches the handler.
+	c, codec, calls := newCachedFixture(t, ResponseCacheConfig{Body: failingBody{}})
+	req, _ := codec.EncodeRequest(ns, "search", []soap.Param{{Name: "q", Value: "x"}})
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Handle(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("handler calls = %d, want 2 (nothing cacheable)", calls.Load())
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache holds %d entries, want 0", c.Len())
 	}
 }
