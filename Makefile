@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test race cover bench bench-rep bench-all bench-smoke tables figures fuzz generate clean
+.PHONY: all check build vet lint test race cover bench bench-rep bench-inval bench-all bench-smoke chaos tables figures fuzz generate clean
 
 all: build vet lint test
 
@@ -57,6 +57,21 @@ bench-rep:
 	| $(GO) run ./cmd/benchjson -o BENCH_rep.json \
 	  -note "checked-in run: single-CPU container; steady-state full-stack hit, entry filled by the selector's first probe round"
 	@cat BENCH_rep.json
+
+# Track the invalidation epoch check on the hit path: BenchmarkHitInval
+# is BenchmarkHitSerial with two epoch stamps per entry, archived as
+# BENCH_inval.json. TestInvalHitOverhead holds the delta under 5%.
+bench-inval:
+	$(GO) test -run NONE -bench 'BenchmarkHitSerial|BenchmarkHitInval' -benchmem ./internal/core \
+	| $(GO) run ./cmd/benchjson -o BENCH_inval.json \
+	  -note "checked-in run: single-CPU container; HitInval adds the per-hit epoch-stamp check (two atomic loads) over HitSerial"
+	@cat BENCH_inval.json
+
+# The invalidation chaos harness under the race detector: mixed
+# read/write load, injected faults, lying 304 validator, sweep/Clear
+# churn, zero-stale-after-write oracle.
+chaos:
+	$(GO) test -race -run 'Chaos|InvalidationConcurrentStress' -v ./... 2>&1 | grep -v "no test files"
 
 # One-iteration CI smoke: proves the benchmarks and the JSON emitter
 # still run; the numbers are meaningless at -benchtime 1x.

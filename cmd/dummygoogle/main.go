@@ -1,7 +1,10 @@
 // Command dummygoogle serves the simulated Google Web services over
 // HTTP: the test double the paper's portal scenario calls (Section
 // 5.2). It exposes the SOAP endpoint at / and the service WSDL at
-// /wsdl.
+// /wsdl. Besides the paper's three read-only operations, the
+// dispatcher serves the mutable item operations (doGetItem, doPutItem,
+// doListItems) backed by an in-memory store, so a cache in front of it
+// can exercise write-through invalidation (see package invalidate).
 //
 // Usage:
 //

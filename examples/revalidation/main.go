@@ -1,9 +1,18 @@
-// Revalidation: the HTTP 1.1 consistency mechanism the paper points to
-// (Section 3.2) working end to end. The server stamps responses with
-// Last-Modified and Cache-Control; the cache keeps expired entries as
-// stale and sends conditional requests (If-Modified-Since); the server
-// answers 304 Not Modified and the cache refreshes the entry without
-// reprocessing the response.
+// Revalidation and invalidation: the consistency ladder end to end.
+//
+// Rung one is the HTTP 1.1 mechanism the paper points to (Section
+// 3.2): the server stamps responses with Last-Modified and
+// Cache-Control; the cache keeps expired entries as stale and sends
+// conditional requests (If-Modified-Since); the server answers 304 Not
+// Modified and the cache refreshes the entry without reprocessing the
+// response. This is the pull-based fallback every operation gets.
+//
+// Rung two is dependency-aware invalidation (package invalidate):
+// operations with declared read/write sets get push-based epoch
+// invalidation — a write-through call invalidates every dependent
+// entry at once, and the cache refuses to revalidate such entries even
+// when the server (whose validator here deliberately lies) would
+// happily answer 304.
 //
 //	go run ./examples/revalidation
 package main
@@ -17,6 +26,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/googleapi"
+	"repro/internal/invalidate"
 	"repro/internal/transport"
 )
 
@@ -39,12 +49,16 @@ func run() error {
 	now := time.Now()
 	clock := func() time.Time { return now }
 
+	// The invalidation graph covers only the item operations; the
+	// paper's search operations declare nothing and stay on the 304
+	// fallback below.
 	cache := core.MustNew(core.Config{
 		KeyGen:         core.NewStringKey(),
 		Store:          core.NewAutoStore(codec.Registry(), codec),
 		Revalidate:     true, // keep stale entries, send conditional requests
 		HonorServerTTL: true, // the server's max-age drives expiry
 		Clock:          clock,
+		Invalidator:    invalidate.New(googleapi.ItemGraph(), nil),
 	})
 
 	call := client.NewCall(codec, &transport.InProcess{Handler: dispatcher},
@@ -90,8 +104,52 @@ func run() error {
 		return err
 	}
 
+	// Act two: the push-based rung. The server's validator now lies —
+	// it stamps everything unmodified-for-a-day, so pure 304
+	// revalidation would never see the item change. The declared write
+	// set on doPutItem makes the change visible anyway.
+	dispatcher.SetValidatorPolicy(time.Now().Add(-24*time.Hour), time.Minute)
+	fmt.Println()
+
+	itemCall := func(op string) *client.Call {
+		return client.NewCall(codec, &transport.InProcess{Handler: dispatcher},
+			googleapi.Endpoint, googleapi.Namespace, op, "urn:GoogleSearchAction",
+			client.Options{RecordEvents: true, Handlers: []client.Handler{cache}})
+	}
+	getItem, putItem := itemCall(googleapi.OpGetItem), itemCall(googleapi.OpPutItem)
+
+	item := func(step, key string) error {
+		start := time.Now()
+		ictx, err := getItem.InvokeContext(context.Background(), googleapi.GetItemParams(key)...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s hit=%-5v 304=%-5v value=%-4q %8v\n",
+			step, ictx.CacheHit, ictx.NotModified, ictx.Result, time.Since(start).Round(time.Microsecond))
+		return nil
+	}
+
+	if _, err := putItem.Invoke(context.Background(), googleapi.PutItemParams("answer", "42")...); err != nil {
+		return err
+	}
+	if err := item("6. cold miss (fill)", "answer"); err != nil {
+		return err
+	}
+	if err := item("7. fresh hit", "answer"); err != nil {
+		return err
+	}
+	// Write through the cache: doPutItem's declared write set bumps the
+	// epochs for item:answer and the listing keyspace before the call
+	// returns.
+	if _, err := putItem.Invoke(context.Background(), googleapi.PutItemParams("answer", "43")...); err != nil {
+		return err
+	}
+	if err := item("8. invalidated -> refetch", "answer"); err != nil {
+		return err
+	}
+
 	s := cache.Stats()
-	fmt.Printf("\ncache: %d hits, %d misses, %d revalidations, %d stores\n",
-		s.Hits, s.Misses, s.Revalidations, s.Stores)
+	fmt.Printf("\ncache: %d hits, %d misses, %d revalidations, %d invalidations, %d stores\n",
+		s.Hits, s.Misses, s.Revalidations, s.Invalidations, s.Stores)
 	return nil
 }

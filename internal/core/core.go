@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/clock"
+	"repro/internal/invalidate"
 	"repro/internal/obs"
 	"repro/internal/rep"
 	"repro/internal/transport"
@@ -102,6 +103,15 @@ type Config struct {
 	// client.Context.ServedStale. Expired entries are retained (from
 	// lookup and the sweeper) until the window passes. Zero disables.
 	StaleIfError time.Duration
+	// Invalidator, when non-nil, enables dependency-aware invalidation
+	// (DESIGN.md §5f): entries of operations with a declared read set
+	// are stamped with their keyspaces' epochs at fill time, a
+	// write-through call of an operation with a declared write set bumps
+	// those epochs, and a hit whose stamps are stale is treated as a
+	// miss. Operations with no declared sets are unaffected and stay on
+	// the pull-based fallback ladder (TTL, then Revalidate). Share one
+	// Invalidator between every cache that must observe the same writes.
+	Invalidator *invalidate.Invalidator
 	// Coalesce collapses concurrent misses on one key into a single
 	// backend invocation (singleflight): followers wait for the
 	// leader's fill and are served from the cache, so a thundering herd
@@ -137,6 +147,8 @@ type Stats struct {
 	Evictions     int64
 	Revalidations int64 // stale entries refreshed by a 304 answer
 	StaleServes   int64 // expired entries served because the backend failed
+	Invalidations int64 // entries dropped because a dependency epoch advanced
+	StaleRefused  int64 // degraded/revalidation serves refused as write-invalidated
 	Coalesced     int64 // misses satisfied by another in-flight invocation
 	Errors        int64 // store/load failures that fell back to the pivot
 	Bypass        int64 // invocations of uncacheable operations
@@ -197,6 +209,13 @@ type entry struct {
 	// lastModified is the response's Last-Modified validator; a stale
 	// entry with a validator can be revalidated instead of refetched.
 	lastModified time.Time
+	// stamps are the entry's dependency epochs, snapshotted before the
+	// backend read that produced the payload (Config.Invalidator). A
+	// stamp that no longer matches its live epoch means a declared
+	// write landed after the snapshot: the entry is write-invalidated
+	// and must never be served — not as a hit, not stale-on-error, not
+	// via 304 refresh. Empty for operations with no declared read set.
+	stamps []invalidate.Stamp
 
 	prev, next *entry
 }
@@ -249,6 +268,7 @@ type Cache struct {
 	honorServerTTL bool
 	staleIfError   time.Duration
 	coalesce       bool
+	inval          *invalidate.Invalidator
 	now            func() time.Time
 
 	// seed1/seed2 are the per-cache maphash seeds behind keyDigest;
@@ -278,6 +298,8 @@ type cacheCounters struct {
 	evictions     *obs.Counter
 	revalidations *obs.Counter
 	staleServes   *obs.Counter
+	invalidations *obs.Counter
+	staleRefused  *obs.Counter
 	coalesced     *obs.Counter
 	errors        *obs.Counter
 	bypass        *obs.Counter
@@ -293,6 +315,8 @@ func newCacheCounters(reg *obs.Registry) cacheCounters {
 		evictions:     reg.Counter("core.evictions"),
 		revalidations: reg.Counter("core.revalidations"),
 		staleServes:   reg.Counter("core.stale_serves"),
+		invalidations: reg.Counter("core.invalidations"),
+		staleRefused:  reg.Counter("core.stale_refused"),
 		coalesced:     reg.Counter("core.coalesced"),
 		errors:        reg.Counter("core.errors"),
 		bypass:        reg.Counter("core.bypass"),
@@ -394,6 +418,7 @@ func New(cfg Config) (*Cache, error) {
 		honorServerTTL: cfg.HonorServerTTL,
 		staleIfError:   cfg.StaleIfError,
 		coalesce:       cfg.Coalesce,
+		inval:          cfg.Invalidator,
 		now:            now,
 		seed1:          maphash.MakeSeed(),
 		seed2:          maphash.MakeSeed(),
@@ -483,6 +508,8 @@ func (c *Cache) Stats() Stats {
 		Evictions:     c.m.evictions.Load(),
 		Revalidations: c.m.revalidations.Load(),
 		StaleServes:   c.m.staleServes.Load(),
+		Invalidations: c.m.invalidations.Load(),
+		StaleRefused:  c.m.staleRefused.Load(),
 		Coalesced:     c.m.coalesced.Load(),
 		Errors:        c.m.errors.Load(),
 		Bypass:        c.m.bypass.Load(),
@@ -555,7 +582,12 @@ func (c *Cache) HandleInvoke(ictx *client.Context, next client.Invoker) error {
 	if !op.Cacheable {
 		c.m.bypass.Add(1)
 		c.reg.Op(ictx.Operation).Bypass.Add(1)
-		return next(ictx)
+		// Write operations are typically uncacheable, so the bypass
+		// path is where write-through calls flow: commit their declared
+		// write sets so dependent entries invalidate.
+		err := next(ictx)
+		c.commitWrite(ictx, err)
+		return err
 	}
 
 	var start time.Time
@@ -591,6 +623,13 @@ func (c *Cache) HandleInvoke(ictx *client.Context, next client.Invoker) error {
 // setup, the invocation itself, stale-on-error degradation, 304
 // refresh, and the fill.
 func (c *Cache) invokeMiss(d keyDigest, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
+	// Dependency stamps are snapshotted BEFORE the backend read: a
+	// declared write racing this invocation bumps its epochs after its
+	// backend write completes, so whichever data the backend serves us,
+	// the filled entry is stamped pre-write and a later hit re-checks it
+	// against the advanced epoch. Conservative misses, never stale hits.
+	stamps := c.readStamps(ictx)
+
 	// A stale entry with a validator turns this miss into a conditional
 	// request (If-Modified-Since): the server may answer 304 instead of
 	// recomputing and shipping the response.
@@ -603,16 +642,8 @@ func (c *Cache) invokeMiss(d keyDigest, op OperationPolicy, ictx *client.Context
 		}
 	}
 
-	var start time.Time
-	if c.timed {
-		start = c.now()
-	}
-	err := next(ictx)
-	if c.timed {
-		// Invoke time covers everything below the cache in the handler
-		// chain: serialize, transport (with retries), parse, deserialize.
-		c.observe(ictx.Operation, obs.StageInvoke, "", c.now().Sub(start), err)
-	}
+	err := c.invokeTimed(ictx, next)
+	c.commitWrite(ictx, err)
 	if err != nil {
 		if result, ok := c.staleOnError(d, ictx.Operation, err); ok {
 			ictx.Result = result
@@ -629,21 +660,57 @@ func (c *Cache) invokeMiss(d keyDigest, op OperationPolicy, ictx *client.Context
 			ictx.CacheHit = true
 			return nil
 		}
-		return fmt.Errorf("core: server answered 304 but no stale entry for operation %s", ictx.Operation)
+		// The stale entry backing the conditional request is gone —
+		// evicted, swept, or write-invalidated between the header setup
+		// and the 304 answer. The 304 has no body, so retry
+		// unconditionally instead of failing the invocation.
+		ictx.RequestHeader.Del("If-Modified-Since")
+		ictx.NotModified = false
+		stamps = c.readStamps(ictx)
+		err = c.invokeTimed(ictx, next)
+		c.commitWrite(ictx, err)
+		if err != nil {
+			return err
+		}
+		if ictx.NotModified {
+			return fmt.Errorf("core: server answered 304 to an unconditional request for operation %s", ictx.Operation)
+		}
 	}
 
-	c.fill(d, op, ictx)
+	c.fill(d, op, ictx, stamps)
 	return nil
 }
 
+// invokeTimed runs the rest of the handler chain, timing the invoke
+// stage: serialize, transport (with retries), parse, deserialize.
+func (c *Cache) invokeTimed(ictx *client.Context, next client.Invoker) error {
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
+	err := next(ictx)
+	if c.timed {
+		c.observe(ictx.Operation, obs.StageInvoke, "", c.now().Sub(start), err)
+	}
+	return err
+}
+
 // staleValidator returns the Last-Modified validator of an expired
-// entry for the digest, if one is retained for revalidation.
+// entry for the digest, if one is retained for revalidation. A
+// write-invalidated entry is refused: its representation is known to
+// predate a committed write, so a 304 must not be allowed to resurrect
+// it — the invocation proceeds unconditional and refetches.
 func (c *Cache) staleValidator(d keyDigest) (time.Time, bool) {
 	sh := c.shard(d)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.table[d]
 	if !ok || e.lastModified.IsZero() || !e.expired(c.now()) {
+		return time.Time{}, false
+	}
+	if invalidate.Stale(e.stamps) {
+		sh.removeLocked(e)
+		c.m.invalidations.Add(1)
 		return time.Time{}, false
 	}
 	return e.lastModified, true
@@ -657,6 +724,17 @@ func (c *Cache) refreshStale(d keyDigest, op OperationPolicy, ictx *client.Conte
 	e, ok := sh.table[d]
 	if !ok {
 		sh.mu.Unlock()
+		return nil, false
+	}
+	if invalidate.Stale(e.stamps) {
+		// A declared write landed between the conditional-request setup
+		// and the 304 answer; the 304 vouches for the server resource
+		// the validator describes, not for our invalidated dependency
+		// snapshot. Drop the entry and let the caller refetch.
+		sh.removeLocked(e)
+		sh.mu.Unlock()
+		c.m.invalidations.Add(1)
+		c.m.staleRefused.Add(1)
 		return nil, false
 	}
 	ttl := c.entryTTL(op, ictx)
@@ -744,6 +822,21 @@ func (c *Cache) lookup(d keyDigest, op string) (any, bool) {
 		}
 		return nil, false
 	}
+	if invalidate.Stale(e.stamps) {
+		// A dependency epoch advanced past the entry's stamps: a
+		// declared write committed after this entry's backend read.
+		// Epochs only grow, so the entry can never become fresh again —
+		// drop it outright (unlike TTL expiry there is nothing to
+		// revalidate or serve degraded) and report a miss.
+		sh.removeLocked(e)
+		sh.mu.Unlock()
+		c.m.invalidations.Add(1)
+		c.m.misses.Add(1)
+		if c.timed {
+			c.observe(op, obs.StageLookup, "", c.now().Sub(start), nil)
+		}
+		return nil, false
+	}
 	if now := c.now(); e.expired(now) {
 		// An expired entry may still be useful: with revalidation on, a
 		// validator-bearing entry can be refreshed by a 304; with
@@ -787,8 +880,10 @@ func (c *Cache) lookup(d keyDigest, op string) (any, bool) {
 	return result, true
 }
 
-// fill stores a completed invocation's response.
-func (c *Cache) fill(d keyDigest, op OperationPolicy, ictx *client.Context) {
+// fill stores a completed invocation's response. stamps are the
+// dependency epochs snapshotted before the backend read (nil when no
+// invalidator is configured or the operation declares no read set).
+func (c *Cache) fill(d keyDigest, op OperationPolicy, ictx *client.Context, stamps []invalidate.Stamp) {
 	store := c.store
 	if op.Store != nil {
 		store = op.Store
@@ -832,6 +927,7 @@ func (c *Cache) fill(d keyDigest, op OperationPolicy, ictx *client.Context) {
 	e := &entry{
 		digest: d, payload: payload, size: size,
 		expires: expires, store: store, ttl: ttl, lastModified: lastModified,
+		stamps: stamps,
 	}
 	sh.table[d] = e
 	sh.pushFrontLocked(e)

@@ -32,7 +32,7 @@ const benchKeys = 64
 // returns it with the query values used to address them. The values
 // are pre-boxed into any so the measured loop swaps a parameter
 // without the string-to-interface allocation.
-func newHitBench(b *testing.B, mutate func(*Config)) (*Cache, []any) {
+func newHitBench(b testing.TB, mutate func(*Config)) (*Cache, []any) {
 	b.Helper()
 	cfg := Config{
 		KeyGen: NewStringKey(),
@@ -85,7 +85,7 @@ func failNext(*client.Context) error {
 
 // hitLoop drives n hits through one reused context, rotating the
 // working set starting at off.
-func hitLoop(b *testing.B, c *Cache, qs []any, off, n int) {
+func hitLoop(b testing.TB, c *Cache, qs []any, off, n int) {
 	ictx := benchCtx(qs[0])
 	for i := 0; i < n; i++ {
 		ictx.Params[1].Value = qs[(off+i)%len(qs)]

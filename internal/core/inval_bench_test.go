@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/invalidate"
+	"repro/internal/soap"
+)
+
+// The invalidation benchmarks price the epoch check on the hit path:
+// with a configured Invalidator, every entry filled for a declared
+// read operation carries epoch stamps, and every hit re-validates them
+// (a handful of atomic loads). BenchmarkHitInval mirrors
+// BenchmarkHitSerial with stamps present; TestInvalHitOverhead is the
+// acceptance guard holding the delta under 5%.
+
+// benchInvalidator builds an invalidator whose graph declares the
+// benchmark's "get" operation as reading two keyspaces — one per-key,
+// one shared — so every cached entry carries two stamps, matching the
+// item-store shape (item:<key> plus the listing keyspace).
+func benchInvalidator() *invalidate.Invalidator {
+	g := invalidate.NewGraph().
+		Read("get", func(params []soap.Param) []invalidate.Keyspace {
+			q, _ := params[1].Value.(string)
+			return []invalidate.Keyspace{invalidate.Keyspace("item:" + q), "items"}
+		}).
+		Write("put", func(params []soap.Param) []invalidate.Keyspace {
+			q, _ := params[1].Value.(string)
+			return []invalidate.Keyspace{invalidate.Keyspace("item:" + q), "items"}
+		})
+	return invalidate.New(g, nil)
+}
+
+// BenchmarkHitInval is BenchmarkHitSerial with epoch stamps on every
+// entry: the hit-path cost of dependency-aware invalidation.
+func BenchmarkHitInval(b *testing.B) {
+	c, qs := newHitBench(b, func(cfg *Config) {
+		cfg.Invalidator = benchInvalidator()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	hitLoop(b, c, qs, 0, b.N)
+}
+
+// TestInvalHitOverhead enforces the ≤5% bound on the epoch check:
+// a steady-state hit with two stamps per entry must cost no more than
+// 1.05× the stampless hit. Timing is interleaved and the best of
+// several trials is taken to damp scheduler noise.
+func TestInvalHitOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard; skipped in -short")
+	}
+	plain, pqs := newHitBench(t, nil)
+	inval, iqs := newHitBench(t, func(cfg *Config) {
+		cfg.Invalidator = benchInvalidator()
+	})
+
+	measure := func(c *Cache, qs []any, n int) time.Duration {
+		start := time.Now()
+		hitLoop(t, c, qs, 0, n)
+		return time.Since(start)
+	}
+	measure(plain, pqs, 2000) // warm: settle allocators and branch caches
+	measure(inval, iqs, 2000)
+
+	const trials, n, limit = 5, 50000, 1.05
+	best := 0.0
+	for i := 0; i < trials; i++ {
+		p := measure(plain, pqs, n)
+		v := measure(inval, iqs, n)
+		ratio := float64(v) / float64(p)
+		if i == 0 || ratio < best {
+			best = ratio
+		}
+	}
+	if best > limit {
+		t.Errorf("epoch-check hit overhead %.3f× exceeds %.2f×", best, limit)
+	} else {
+		t.Logf("epoch-check hit overhead %.3f× (limit %.2f×)", best, limit)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/invalidate"
 	"repro/internal/obs"
 	"repro/internal/soap"
 )
@@ -40,14 +41,20 @@ func (c *Cache) invokeCoalesced(d keyDigest, op OperationPolicy, ictx *client.Co
 	sh.flights[d] = f
 	sh.flightMu.Unlock()
 
-	err := c.invokeMiss(d, op, ictx, next)
-
-	sh.flightMu.Lock()
-	delete(sh.flights, d)
-	sh.flightMu.Unlock()
-	f.err = err
-	close(f.done)
-	return err
+	// Retire the flight in a defer so a dying leader — a panicking
+	// store, handler, or transport anywhere down the chain — still
+	// closes the channel instead of stranding its followers forever.
+	// The panic propagates to the leader's caller; followers observe a
+	// nil flight error, find no entry, and fall back to their own
+	// invocations.
+	defer func() {
+		sh.flightMu.Lock()
+		delete(sh.flights, d)
+		sh.flightMu.Unlock()
+		close(f.done)
+	}()
+	f.err = c.invokeMiss(d, op, ictx, next)
+	return f.err
 }
 
 // followFlight waits for the flight leader and serves the follower's
@@ -115,6 +122,18 @@ func (c *Cache) staleOnError(d keyDigest, op string, err error) (any, bool) {
 	e, ok := sh.table[d]
 	if !ok {
 		sh.mu.Unlock()
+		return nil, false
+	}
+	if invalidate.Stale(e.stamps) {
+		// Degraded mode must never resurrect a write-invalidated entry:
+		// its data provably predates a committed write, and serving it
+		// would trade an availability gap for a correctness violation.
+		// The refusal is counted so operators can see degraded serving
+		// being denied by invalidation.
+		sh.removeLocked(e)
+		sh.mu.Unlock()
+		c.m.invalidations.Add(1)
+		c.m.staleRefused.Add(1)
 		return nil, false
 	}
 	now := c.now()

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/invalidate"
 )
 
 // Sweeper proactively removes expired entries from a Cache on a fixed
@@ -98,7 +100,16 @@ func (c *Cache) SweepExpired() int {
 		// deterministic order.
 		for e := sh.head; e != nil; {
 			next := e.next
-			if e.expired(now) && !c.withinStaleWindow(e, now) {
+			switch {
+			case invalidate.Stale(e.stamps):
+				// Write-invalidated entries can never be served again
+				// (epochs only grow), so the sweep reclaims them
+				// unconditionally — even inside the stale-on-error
+				// grace window.
+				sh.removeLocked(e)
+				c.m.invalidations.Add(1)
+				removed++
+			case e.expired(now) && !c.withinStaleWindow(e, now):
 				sh.removeLocked(e)
 				c.m.expirations.Add(1)
 				removed++

@@ -1,0 +1,134 @@
+package googleapi
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/invalidate"
+	"repro/internal/server"
+	"repro/internal/soap"
+)
+
+// This file adds a small mutable keyspace to the dummy Google service:
+// a key/value item store with read operations (doGetItem, doListItems)
+// and one write-through operation (doPutItem). The paper's three
+// operations are all read-only, which is why its cache can live on TTLs
+// alone; the item operations exist to exercise dependency-aware
+// invalidation (package invalidate), where a write must be visible
+// through the cache immediately rather than after a TTL expiry.
+
+// Item operation names, following the WSDL's do* convention.
+const (
+	OpGetItem   = "doGetItem"
+	OpPutItem   = "doPutItem"
+	OpListItems = "doListItems"
+)
+
+// ItemKeyspacePrefix prefixes the per-item keyspaces in ItemGraph;
+// KeyspaceAllItems covers the listing.
+const (
+	ItemKeyspacePrefix = "item:"
+	KeyspaceAllItems   = invalidate.Keyspace("items")
+)
+
+// ItemStore is the backend state behind the item operations: a
+// mutex-guarded map. All item operations return plain strings, so the
+// store needs no typemap registration.
+type ItemStore struct {
+	mu    sync.Mutex
+	items map[string]string
+}
+
+// NewItemStore returns an empty store.
+func NewItemStore() *ItemStore {
+	return &ItemStore{items: make(map[string]string)}
+}
+
+// Get returns the stored value for key, or "" when absent.
+func (s *ItemStore) Get(key string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[key]
+}
+
+// Put stores value under key.
+func (s *ItemStore) Put(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[key] = value
+}
+
+// List returns the stored keys, sorted, joined by commas.
+func (s *ItemStore) List() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// Register installs the item operations on d, backed by s. Registering
+// a second store for the same dispatcher replaces the first — tests use
+// this to substitute a store they can inspect.
+func (s *ItemStore) Register(d *server.Dispatcher) {
+	d.Register(OpGetItem, func(params []soap.Param) (any, error) {
+		key, err := stringParam(params, "key", 1)
+		if err != nil {
+			return nil, err
+		}
+		return s.Get(key), nil
+	})
+	d.Register(OpPutItem, func(params []soap.Param) (any, error) {
+		key, err := stringParam(params, "key", 1)
+		if err != nil {
+			return nil, err
+		}
+		value, err := stringParam(params, "value", 2)
+		if err != nil {
+			return nil, err
+		}
+		s.Put(key, value)
+		return "stored:" + key, nil
+	})
+	d.Register(OpListItems, func(params []soap.Param) (any, error) {
+		return s.List(), nil
+	})
+}
+
+// ItemGraph declares the item operations' dependency sets for the
+// invalidation graph: doGetItem reads the single item's keyspace,
+// doListItems reads the listing keyspace, and doPutItem writes both —
+// a put must invalidate the cached value of that item and any cached
+// listing that may or may not include it.
+func ItemGraph() *invalidate.Graph {
+	itemOf := func(params []soap.Param) []invalidate.Keyspace {
+		key, err := stringParam(params, "key", 1)
+		if err != nil {
+			return nil
+		}
+		return []invalidate.Keyspace{invalidate.Keyspace(ItemKeyspacePrefix + key)}
+	}
+	return invalidate.NewGraph().
+		Read(OpGetItem, itemOf).
+		Read(OpListItems, invalidate.Fixed(KeyspaceAllItems)).
+		Write(OpPutItem, func(params []soap.Param) []invalidate.Keyspace {
+			return append(itemOf(params), KeyspaceAllItems)
+		})
+}
+
+// GetItemParams builds the doGetItem parameter list.
+func GetItemParams(key string) []soap.Param {
+	return []soap.Param{{Name: "key", Value: key}}
+}
+
+// PutItemParams builds the doPutItem parameter list.
+func PutItemParams(key, value string) []soap.Param {
+	return []soap.Param{
+		{Name: "key", Value: key},
+		{Name: "value", Value: value},
+	}
+}

@@ -46,6 +46,11 @@ func NewDispatcher() (*server.Dispatcher, *soap.Codec, error) {
 		maxResults, _ := intParam(params, "maxResults", 3)
 		return Search(q, start, maxResults), nil
 	})
+	// The mutable item operations ride along with a private store so
+	// every dispatcher can serve write-through traffic out of the box;
+	// tests that need to inspect the backend state register their own
+	// store over this one.
+	NewItemStore().Register(d)
 	return d, codec, nil
 }
 

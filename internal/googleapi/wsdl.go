@@ -112,6 +112,27 @@ const WSDL = `<?xml version="1.0"?>
     <wsdl:part name="return" type="typens:GoogleSearchResult"/>
   </wsdl:message>
 
+  <wsdl:message name="doGetItem">
+    <wsdl:part name="key" type="xsd:string"/>
+  </wsdl:message>
+  <wsdl:message name="doGetItemResponse">
+    <wsdl:part name="return" type="xsd:string"/>
+  </wsdl:message>
+
+  <wsdl:message name="doPutItem">
+    <wsdl:part name="key"   type="xsd:string"/>
+    <wsdl:part name="value" type="xsd:string"/>
+  </wsdl:message>
+  <wsdl:message name="doPutItemResponse">
+    <wsdl:part name="return" type="xsd:string"/>
+  </wsdl:message>
+
+  <wsdl:message name="doListItems">
+  </wsdl:message>
+  <wsdl:message name="doListItemsResponse">
+    <wsdl:part name="return" type="xsd:string"/>
+  </wsdl:message>
+
   <wsdl:portType name="GoogleSearchPort">
     <wsdl:operation name="doGetCachedPage">
       <wsdl:input message="typens:doGetCachedPage"/>
@@ -124,6 +145,18 @@ const WSDL = `<?xml version="1.0"?>
     <wsdl:operation name="doGoogleSearch">
       <wsdl:input message="typens:doGoogleSearch"/>
       <wsdl:output message="typens:doGoogleSearchResponse"/>
+    </wsdl:operation>
+    <wsdl:operation name="doGetItem">
+      <wsdl:input message="typens:doGetItem"/>
+      <wsdl:output message="typens:doGetItemResponse"/>
+    </wsdl:operation>
+    <wsdl:operation name="doPutItem">
+      <wsdl:input message="typens:doPutItem"/>
+      <wsdl:output message="typens:doPutItemResponse"/>
+    </wsdl:operation>
+    <wsdl:operation name="doListItems">
+      <wsdl:input message="typens:doListItems"/>
+      <wsdl:output message="typens:doListItemsResponse"/>
     </wsdl:operation>
   </wsdl:portType>
 
@@ -152,6 +185,39 @@ const WSDL = `<?xml version="1.0"?>
       </wsdl:output>
     </wsdl:operation>
     <wsdl:operation name="doGoogleSearch">
+      <soap:operation soapAction="urn:GoogleSearchAction"/>
+      <wsdl:input>
+        <soap:body use="encoded" namespace="urn:GoogleSearch"
+            encodingStyle="http://schemas.xmlsoap.org/soap/encoding/"/>
+      </wsdl:input>
+      <wsdl:output>
+        <soap:body use="encoded" namespace="urn:GoogleSearch"
+            encodingStyle="http://schemas.xmlsoap.org/soap/encoding/"/>
+      </wsdl:output>
+    </wsdl:operation>
+    <wsdl:operation name="doGetItem">
+      <soap:operation soapAction="urn:GoogleSearchAction"/>
+      <wsdl:input>
+        <soap:body use="encoded" namespace="urn:GoogleSearch"
+            encodingStyle="http://schemas.xmlsoap.org/soap/encoding/"/>
+      </wsdl:input>
+      <wsdl:output>
+        <soap:body use="encoded" namespace="urn:GoogleSearch"
+            encodingStyle="http://schemas.xmlsoap.org/soap/encoding/"/>
+      </wsdl:output>
+    </wsdl:operation>
+    <wsdl:operation name="doPutItem">
+      <soap:operation soapAction="urn:GoogleSearchAction"/>
+      <wsdl:input>
+        <soap:body use="encoded" namespace="urn:GoogleSearch"
+            encodingStyle="http://schemas.xmlsoap.org/soap/encoding/"/>
+      </wsdl:input>
+      <wsdl:output>
+        <soap:body use="encoded" namespace="urn:GoogleSearch"
+            encodingStyle="http://schemas.xmlsoap.org/soap/encoding/"/>
+      </wsdl:output>
+    </wsdl:operation>
+    <wsdl:operation name="doListItems">
       <soap:operation soapAction="urn:GoogleSearchAction"/>
       <wsdl:input>
         <soap:body use="encoded" namespace="urn:GoogleSearch"

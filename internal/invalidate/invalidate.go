@@ -1,0 +1,274 @@
+// Package invalidate is the dependency-aware invalidation layer the
+// paper's per-operation TTL (Section 3.2) stops short of: operations
+// declare which keyspaces they read and which they write, forming an
+// invalidation graph, and every keyspace carries a monotonically
+// increasing epoch. A write-through call bumps the epochs of the
+// keyspaces it writes; cache entries carry the epoch values their read
+// keyspaces had when the entry was filled, and a hit whose stamped
+// epochs no longer match is stale and must be treated as a miss.
+//
+// The scheme follows the method-cache invalidation model of Pfeifer &
+// Lockemann ("Theory and Practice of Transactional Method Caching"):
+// read/write dependencies are declared per method (operation), and
+// correctness is conservative — any doubt invalidates.
+//
+// Ordering guarantee. Entries are stamped with epochs snapshotted
+// BEFORE the backend read is issued, and writers bump AFTER the backend
+// write has completed. A read that races a write is therefore always
+// stamped with the pre-write epoch and invalidated by the bump, even if
+// the backend happened to serve it post-write data; a read that
+// snapshots the post-bump epoch can only observe post-write backend
+// state. The net effect is the stale-after-write invariant: once a
+// write to a keyspace has committed, no later-starting read can be
+// served data predating that write. Conservative misses (a fresh fill
+// invalidated by a concurrent bump) are possible; stale serves are not.
+//
+// Operations with no declared sets are untouched: their entries carry
+// no stamps and stay on the pull-based fallback ladder (TTL, then
+// If-Modified-Since/304 revalidation) the cache already implements.
+package invalidate
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/soap"
+)
+
+// Keyspace names one unit of dependency: a resource family whose
+// version advances when any member is written. Granularity is the
+// declarer's choice — "items" invalidates coarsely (any write clears
+// every dependent read), "item:k" invalidates one key. An operation may
+// depend on several keyspaces at different granularities.
+type Keyspace string
+
+// SetFunc resolves one invocation's parameters to the keyspaces it
+// touches. Implementations must be pure and safe for concurrent use:
+// they run on the request path, once per miss (reads) or write-through
+// call (writes).
+type SetFunc func(params []soap.Param) []Keyspace
+
+// Fixed returns a SetFunc naming the same keyspaces regardless of
+// parameters — the coarse whole-resource dependency.
+func Fixed(ks ...Keyspace) SetFunc {
+	return func([]soap.Param) []Keyspace { return ks }
+}
+
+// Graph holds the declared read and write sets of an operation
+// vocabulary. Declare during wiring, before traffic; declarations are
+// nevertheless safe to add at run time.
+type Graph struct {
+	mu     sync.RWMutex
+	reads  map[string]SetFunc
+	writes map[string]SetFunc
+}
+
+// NewGraph returns an empty invalidation graph.
+func NewGraph() *Graph {
+	return &Graph{
+		reads:  make(map[string]SetFunc),
+		writes: make(map[string]SetFunc),
+	}
+}
+
+// Read declares the keyspaces operation op reads. Entries cached for op
+// are stamped with these keyspaces' epochs and invalidated when any of
+// them is written.
+func (g *Graph) Read(op string, f SetFunc) *Graph {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.reads[op] = f
+	return g
+}
+
+// Write declares the keyspaces operation op writes. A successful (or
+// unknown-outcome) invocation of op bumps their epochs.
+func (g *Graph) Write(op string, f SetFunc) *Graph {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.writes[op] = f
+	return g
+}
+
+// readSet resolves op's read keyspaces, nil when undeclared.
+func (g *Graph) readSet(op string, params []soap.Param) []Keyspace {
+	g.mu.RLock()
+	f := g.reads[op]
+	g.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f(params)
+}
+
+// writeSet resolves op's write keyspaces, nil when undeclared.
+func (g *Graph) writeSet(op string, params []soap.Param) []Keyspace {
+	g.mu.RLock()
+	f := g.writes[op]
+	g.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f(params)
+}
+
+// WritesDeclared reports whether op has a declared write set.
+func (g *Graph) WritesDeclared(op string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.writes[op] != nil
+}
+
+// epoch is one keyspace's version cell. Cells are created on first
+// touch and live for the Invalidator's lifetime (16 bytes per
+// keyspace); deployments with unbounded per-key keyspaces should prefer
+// coarser families or recycle the Invalidator with the cache.
+type epoch struct {
+	v atomic.Uint64
+}
+
+// Stamp records the value one epoch cell had when an entry was filled.
+// The zero Stamp is invalid; stamps are only produced by ReadStamps.
+type Stamp struct {
+	cell *epoch
+	seen uint64
+}
+
+// Stale reports whether any stamped epoch has advanced past its
+// recorded value — the entry depends on a keyspace that has been
+// written since the fill. A nil or empty stamp slice is never stale
+// (the entry has no declared dependencies). The check is a handful of
+// atomic loads, cheap enough for the hit path.
+func Stale(stamps []Stamp) bool {
+	for i := range stamps {
+		if stamps[i].cell.v.Load() != stamps[i].seen {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidator binds a Graph to a live epoch table and the metrics that
+// make invalidation observable. One Invalidator is shared by every
+// cache that must see the same writes (typically one per process per
+// backend).
+type Invalidator struct {
+	graph *Graph
+	cells sync.Map // Keyspace -> *epoch
+
+	// writesCommitted counts write-through commits that bumped at least
+	// zero keyspaces; bumps counts individual keyspace bumps.
+	writesCommitted *obs.Counter
+	bumps           *obs.Counter
+}
+
+// New builds an Invalidator over graph, recording its counters into reg
+// (which may be nil for an unobserved instance) under
+// "invalidate.writes" and "invalidate.bumps", and exporting the live
+// keyspace→epoch table as the "invalidation" inspection on
+// /debug/wscache.
+func New(graph *Graph, reg *obs.Registry) *Invalidator {
+	if graph == nil {
+		graph = NewGraph()
+	}
+	inv := &Invalidator{
+		graph:           graph,
+		writesCommitted: reg.Counter("invalidate.writes"),
+		bumps:           reg.Counter("invalidate.bumps"),
+	}
+	reg.SetInspection("invalidation", func() any { return inv.Snapshot() })
+	return inv
+}
+
+// cell returns (creating if needed) the epoch cell for a keyspace.
+func (inv *Invalidator) cell(ks Keyspace) *epoch {
+	if v, ok := inv.cells.Load(ks); ok {
+		return v.(*epoch)
+	}
+	v, _ := inv.cells.LoadOrStore(ks, &epoch{})
+	return v.(*epoch)
+}
+
+// ReadStamps snapshots the current epochs of op's read keyspaces, nil
+// when op declares none. The caller must take the snapshot BEFORE
+// issuing the backend read it will cache (see the package ordering
+// guarantee) and attach the stamps to the filled entry.
+func (inv *Invalidator) ReadStamps(op string, params []soap.Param) []Stamp {
+	ks := inv.graph.readSet(op, params)
+	if len(ks) == 0 {
+		return nil
+	}
+	stamps := make([]Stamp, len(ks))
+	for i, k := range ks {
+		c := inv.cell(k)
+		stamps[i] = Stamp{cell: c, seen: c.v.Load()}
+	}
+	return stamps
+}
+
+// WritesDeclared reports whether op has a declared write set — the
+// cheap pre-check callers use to skip CommitWrite bookkeeping for
+// read-only operations.
+func (inv *Invalidator) WritesDeclared(op string) bool {
+	return inv.graph.WritesDeclared(op)
+}
+
+// CommitWrite bumps the epochs of op's write keyspaces and returns how
+// many were bumped (0 when op declares no write set). Call it after the
+// write-through invocation has completed — on success, and also on
+// transport-level failure where the write may have reached the backend
+// (unknown outcome invalidates conservatively); skip it only when the
+// backend provably rejected the write (e.g. a SOAP fault).
+func (inv *Invalidator) CommitWrite(op string, params []soap.Param) int {
+	ks := inv.graph.writeSet(op, params)
+	if len(ks) == 0 {
+		return 0
+	}
+	for _, k := range ks {
+		inv.cell(k).v.Add(1)
+	}
+	inv.bumps.Add(int64(len(ks)))
+	inv.writesCommitted.Add(1)
+	return len(ks)
+}
+
+// Bump advances a keyspace's epoch directly — the hook for out-of-band
+// invalidation signals (an operator action, a server-push channel)
+// that do not flow through a declared operation.
+func (inv *Invalidator) Bump(ks Keyspace) {
+	inv.cell(ks).v.Add(1)
+	inv.bumps.Add(1)
+}
+
+// Epoch returns a keyspace's current epoch (0 if never touched).
+func (inv *Invalidator) Epoch(ks Keyspace) uint64 {
+	if v, ok := inv.cells.Load(ks); ok {
+		return v.(*epoch).v.Load()
+	}
+	return 0
+}
+
+// Snapshot captures the live keyspace→epoch table, sorted-key iteration
+// left to the consumer (JSON objects are unordered anyway).
+func (inv *Invalidator) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64)
+	inv.cells.Range(func(k, v any) bool {
+		out[string(k.(Keyspace))] = v.(*epoch).v.Load()
+		return true
+	})
+	return out
+}
+
+// Keyspaces returns the sorted names of every keyspace that has an
+// epoch cell, for diagnostics.
+func (inv *Invalidator) Keyspaces() []Keyspace {
+	var out []Keyspace
+	inv.cells.Range(func(k, _ any) bool {
+		out = append(out, k.(Keyspace))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,176 @@
+package invalidate
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/soap"
+)
+
+// itemGraph declares the canonical shape: GetItem reads one item and
+// PutItem writes that item plus the coarse all-items family that
+// ListItems reads.
+func itemGraph() *Graph {
+	itemOf := func(params []soap.Param) []Keyspace {
+		for _, p := range params {
+			if p.Name == "key" {
+				return []Keyspace{Keyspace("item:" + p.Value.(string)), "items"}
+			}
+		}
+		return []Keyspace{"items"}
+	}
+	readOf := func(params []soap.Param) []Keyspace {
+		for _, p := range params {
+			if p.Name == "key" {
+				return []Keyspace{Keyspace("item:" + p.Value.(string))}
+			}
+		}
+		return nil
+	}
+	g := NewGraph()
+	g.Read("GetItem", readOf)
+	g.Read("ListItems", Fixed("items"))
+	g.Write("PutItem", itemOf)
+	return g
+}
+
+func params(key string) []soap.Param {
+	return []soap.Param{{Name: "key", Value: key}}
+}
+
+func TestStampsInvalidatedByDeclaredWrite(t *testing.T) {
+	inv := New(itemGraph(), nil)
+
+	a := inv.ReadStamps("GetItem", params("a"))
+	b := inv.ReadStamps("GetItem", params("b"))
+	list := inv.ReadStamps("ListItems", nil)
+	if len(a) != 1 || len(b) != 1 || len(list) != 1 {
+		t.Fatalf("stamp lengths = %d,%d,%d, want 1,1,1", len(a), len(b), len(list))
+	}
+	if Stale(a) || Stale(b) || Stale(list) {
+		t.Fatal("fresh stamps report stale")
+	}
+
+	if n := inv.CommitWrite("PutItem", params("a")); n != 2 {
+		t.Fatalf("CommitWrite bumped %d keyspaces, want 2 (item:a + items)", n)
+	}
+	if !Stale(a) {
+		t.Error("item:a stamp survived a write to a")
+	}
+	if Stale(b) {
+		t.Error("item:b stamp invalidated by a write to a")
+	}
+	if !Stale(list) {
+		t.Error("coarse items stamp survived a write to a")
+	}
+
+	// Re-stamping after the write is fresh again.
+	if a2 := inv.ReadStamps("GetItem", params("a")); Stale(a2) {
+		t.Error("post-write re-stamp reports stale")
+	}
+}
+
+func TestUndeclaredOperationsHaveNoStamps(t *testing.T) {
+	inv := New(itemGraph(), nil)
+	if s := inv.ReadStamps("doGoogleSearch", nil); s != nil {
+		t.Fatalf("undeclared op produced stamps: %v", s)
+	}
+	if n := inv.CommitWrite("doGoogleSearch", nil); n != 0 {
+		t.Fatalf("undeclared op bumped %d keyspaces", n)
+	}
+	if inv.WritesDeclared("doGoogleSearch") {
+		t.Error("WritesDeclared true for undeclared op")
+	}
+	if !inv.WritesDeclared("PutItem") {
+		t.Error("WritesDeclared false for declared op")
+	}
+	if Stale(nil) {
+		t.Error("nil stamps report stale")
+	}
+}
+
+func TestBumpAndEpochGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	inv := New(itemGraph(), reg)
+
+	inv.Bump("items")
+	inv.CommitWrite("PutItem", params("x"))
+	if got := inv.Epoch("items"); got != 2 {
+		t.Errorf("Epoch(items) = %d, want 2", got)
+	}
+	if got := inv.Epoch("item:x"); got != 1 {
+		t.Errorf("Epoch(item:x) = %d, want 1", got)
+	}
+	if got := inv.Epoch("item:never"); got != 0 {
+		t.Errorf("Epoch(item:never) = %d, want 0", got)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["invalidate.bumps"] != 3 {
+		t.Errorf("invalidate.bumps = %d, want 3", snap.Counters["invalidate.bumps"])
+	}
+	if snap.Counters["invalidate.writes"] != 1 {
+		t.Errorf("invalidate.writes = %d, want 1", snap.Counters["invalidate.writes"])
+	}
+	table, ok := snap.Inspections["invalidation"].(map[string]uint64)
+	if !ok {
+		t.Fatalf("invalidation inspection missing or wrong type: %T", snap.Inspections["invalidation"])
+	}
+	if table["items"] != 2 || table["item:x"] != 1 {
+		t.Errorf("inspection table = %v, want items=2 item:x=1", table)
+	}
+	if ks := inv.Keyspaces(); len(ks) != 2 || ks[0] != "item:x" || ks[1] != "items" {
+		t.Errorf("Keyspaces() = %v", ks)
+	}
+}
+
+// TestConcurrentStampsAndWrites hammers ReadStamps/Stale against
+// CommitWrite under the race detector and checks the one-sided
+// guarantee: a stamp taken entirely after a committed write must never
+// be stale unless a later write landed.
+func TestConcurrentStampsAndWrites(t *testing.T) {
+	inv := New(itemGraph(), nil)
+	const writers, writesEach = 4, 500
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < writesEach; i++ {
+				inv.CommitWrite("PutItem", params(fmt.Sprintf("k%d", w%2)))
+			}
+		}(w)
+	}
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := inv.ReadStamps("GetItem", params("k0"))
+			// Staleness may flip from false to true under concurrent
+			// writes; calling it concurrently is the point.
+			Stale(s)
+			Stale(inv.ReadStamps("ListItems", nil))
+		}
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if got := inv.Epoch("items"); got != writers*writesEach {
+		t.Errorf("Epoch(items) = %d, want %d", got, writers*writesEach)
+	}
+	// Quiesced: a fresh stamp must be stable.
+	if Stale(inv.ReadStamps("ListItems", nil)) {
+		t.Error("stamp taken after all writes completed reports stale")
+	}
+}

@@ -42,6 +42,18 @@ type Config struct {
 	// schedule.
 	Do func(query string) error
 
+	// WriteRatio in [0,1] is the fraction of requests that are writes
+	// against a hot query, for mixed read/write profiles exercising
+	// write-through invalidation. Writes are carved out of the schedule
+	// first, evenly interleaved, cycling through HotQueries; the
+	// remaining requests follow HitRatio as usual. HitRatio+WriteRatio
+	// must not exceed 1.
+	WriteRatio float64
+
+	// Write performs one write request for the hot query chosen by the
+	// schedule. Required when WriteRatio > 0.
+	Write func(query string) error
+
 	// Classify buckets a request error into a named class for
 	// Result.Classes — failure-scenario runs separate breaker
 	// rejections from timeouts from injected faults. nil buckets every
@@ -52,6 +64,7 @@ type Config struct {
 // Result aggregates a run.
 type Result struct {
 	Requests   int
+	Writes     int // write requests issued (mixed read/write profiles)
 	Errors     int
 	Skipped    int // scheduled requests never issued (cancelled run)
 	Elapsed    time.Duration
@@ -70,6 +83,9 @@ func (r Result) String() string {
 		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput,
 		r.AvgLatency.Round(time.Microsecond), r.P50.Round(time.Microsecond),
 		r.P90.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Errors)
+	if r.Writes > 0 {
+		s += fmt.Sprintf(", %d writes", r.Writes)
+	}
 	if r.Skipped > 0 {
 		s += fmt.Sprintf(", %d skipped", r.Skipped)
 	}
@@ -102,14 +118,23 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Do == nil {
 		return Result{}, fmt.Errorf("loadgen: Do is required")
 	}
-	if cfg.HitRatio > 0 && len(cfg.HotQueries) == 0 {
-		return Result{}, fmt.Errorf("loadgen: HitRatio > 0 requires HotQueries")
+	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
+		return Result{}, fmt.Errorf("loadgen: WriteRatio %v outside [0,1]", cfg.WriteRatio)
 	}
-	if cfg.HitRatio < 1 && cfg.MissQuery == nil {
-		return Result{}, fmt.Errorf("loadgen: HitRatio < 1 requires MissQuery")
+	if cfg.HitRatio+cfg.WriteRatio > 1+1e-9 {
+		return Result{}, fmt.Errorf("loadgen: HitRatio %v + WriteRatio %v exceeds 1", cfg.HitRatio, cfg.WriteRatio)
+	}
+	if (cfg.HitRatio > 0 || cfg.WriteRatio > 0) && len(cfg.HotQueries) == 0 {
+		return Result{}, fmt.Errorf("loadgen: HitRatio or WriteRatio > 0 requires HotQueries")
+	}
+	if cfg.WriteRatio > 0 && cfg.Write == nil {
+		return Result{}, fmt.Errorf("loadgen: WriteRatio > 0 requires Write")
+	}
+	if cfg.HitRatio+cfg.WriteRatio < 1 && cfg.MissQuery == nil {
+		return Result{}, fmt.Errorf("loadgen: HitRatio + WriteRatio < 1 requires MissQuery")
 	}
 
-	queries := Schedule(cfg.Requests, cfg.HitRatio, cfg.HotQueries, cfg.MissQuery)
+	queries, writes := mixedSchedule(cfg.Requests, cfg.HitRatio, cfg.WriteRatio, cfg.HotQueries, cfg.MissQuery)
 
 	latencies := make([]time.Duration, cfg.Requests)
 	errs := make([]error, cfg.Requests)
@@ -124,7 +149,11 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			defer wg.Done()
 			for i := range work {
 				t0 := time.Now()
-				errs[i] = cfg.Do(queries[i])
+				if writes[i] {
+					errs[i] = cfg.Write(queries[i])
+				} else {
+					errs[i] = cfg.Do(queries[i])
+				}
 				latencies[i] = time.Since(t0)
 				issued[i] = true
 			}
@@ -142,16 +171,40 @@ feed:
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	return aggregate(latencies, errs, issued, elapsed, cfg.Classify), ctx.Err()
+	res := aggregate(latencies, errs, issued, elapsed, cfg.Classify)
+	for i, ok := range issued {
+		if ok && writes[i] {
+			res.Writes++
+		}
+	}
+	return res, ctx.Err()
 }
 
 // Schedule builds the deterministic query sequence: hits evenly
 // interleaved with misses at the requested ratio.
 func Schedule(requests int, hitRatio float64, hot []string, miss func(int) string) []string {
+	queries, _ := mixedSchedule(requests, hitRatio, 0, hot, miss)
+	return queries
+}
+
+// mixedSchedule builds the deterministic request sequence for a mixed
+// read/write profile. Writes are carved out first at writeRatio, evenly
+// interleaved and cycling through the hot queries; the remaining slots
+// are hits and misses at hitRatio, exactly as Schedule produces.
+func mixedSchedule(requests int, hitRatio, writeRatio float64, hot []string, miss func(int) string) ([]string, []bool) {
 	queries := make([]string, requests)
-	hits, misses := 0, 0
-	acc := 0.0
+	writes := make([]bool, requests)
+	hits, misses, nwrites := 0, 0, 0
+	acc, accW := 0.0, 0.0
 	for i := 0; i < requests; i++ {
+		accW += writeRatio
+		if accW >= 1.0-1e-9 && len(hot) > 0 {
+			accW -= 1.0
+			queries[i] = hot[nwrites%len(hot)]
+			writes[i] = true
+			nwrites++
+			continue
+		}
 		acc += hitRatio
 		if acc >= 1.0-1e-9 && len(hot) > 0 {
 			acc -= 1.0
@@ -162,7 +215,7 @@ func Schedule(requests int, hitRatio float64, hot []string, miss func(int) strin
 			misses++
 		}
 	}
-	return queries
+	return queries, writes
 }
 
 // aggregate folds per-request samples into a Result, counting only

@@ -195,3 +195,88 @@ func TestPercentileEdges(t *testing.T) {
 		t.Error("percentile bounds wrong")
 	}
 }
+
+func TestMixedScheduleWriteRatio(t *testing.T) {
+	hot := []string{"h1", "h2"}
+	miss := func(i int) string { return fmt.Sprintf("m%d", i) }
+
+	qs, ws := mixedSchedule(100, 0.5, 0.2, hot, miss)
+	writes, hits := 0, 0
+	for i, q := range qs {
+		if ws[i] {
+			writes++
+			if !strings.HasPrefix(q, "h") {
+				t.Errorf("write %d targets %q, want a hot query", i, q)
+			}
+		} else if strings.HasPrefix(q, "h") {
+			hits++
+		}
+	}
+	if writes < 19 || writes > 21 {
+		t.Errorf("%d writes, want ≈20", writes)
+	}
+	if hits < 38 || hits > 42 {
+		t.Errorf("%d hits, want ≈40", hits)
+	}
+	// Writes must be spread out, not front-loaded.
+	firstHalf := 0
+	for i := 0; i < 50; i++ {
+		if ws[i] {
+			firstHalf++
+		}
+	}
+	if firstHalf < 8 || firstHalf > 12 {
+		t.Errorf("writes not interleaved: first half has %d", firstHalf)
+	}
+}
+
+func TestRunMixedWrites(t *testing.T) {
+	var reads, writes int64
+	res, err := Run(Config{
+		Concurrency: 4,
+		Requests:    200,
+		HitRatio:    0.4,
+		WriteRatio:  0.25,
+		HotQueries:  []string{"h1", "h2", "h3"},
+		MissQuery:   func(i int) string { return fmt.Sprintf("m%d", i) },
+		Do:          func(string) error { atomic.AddInt64(&reads, 1); return nil },
+		Write:       func(string) error { atomic.AddInt64(&writes, 1); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 200 {
+		t.Errorf("Requests = %d, want 200", res.Requests)
+	}
+	if res.Writes != 50 || writes != 50 {
+		t.Errorf("Writes = %d (func saw %d), want 50", res.Writes, writes)
+	}
+	if reads != 150 {
+		t.Errorf("reads = %d, want 150", reads)
+	}
+	if !strings.Contains(res.String(), "50 writes") {
+		t.Errorf("String() = %q, missing write count", res.String())
+	}
+}
+
+func TestRunMixedValidation(t *testing.T) {
+	base := Config{
+		Concurrency: 1,
+		Requests:    10,
+		HotQueries:  []string{"h"},
+		MissQuery:   func(i int) string { return "m" },
+		Do:          func(string) error { return nil },
+	}
+	for name, mutate := range map[string]func(*Config){
+		"write ratio out of range": func(c *Config) { c.WriteRatio = 1.5 },
+		"ratios exceed one":        func(c *Config) { c.HitRatio, c.WriteRatio = 0.8, 0.3 },
+		"write func missing":       func(c *Config) { c.WriteRatio = 0.2; c.Write = nil },
+		"hot queries missing":      func(c *Config) { c.WriteRatio = 0.2; c.Write = func(string) error { return nil }; c.HotQueries = nil },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: Run accepted invalid config", name)
+		}
+	}
+}
