@@ -632,7 +632,7 @@ func BenchmarkAblationRevalidation(b *testing.B) {
 		}
 		disp.SetValidatorPolicy(time.Now().Add(-24*time.Hour), time.Minute)
 		nowSec := new(int64)
-		*nowSec = time.Now().Unix()
+		atomic.StoreInt64(nowSec, time.Now().Unix())
 		cache := core.MustNew(core.Config{
 			KeyGen:     core.NewStringKey(),
 			Store:      core.NewAutoStore(codec.Registry(), codec),

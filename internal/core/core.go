@@ -458,6 +458,8 @@ func MustNew(cfg Config) *Cache {
 func (c *Cache) Shards() int { return len(c.shards) }
 
 // shard routes a digest to its shard.
+//
+//lint:hotpath
 func (c *Cache) shard(d keyDigest) *shard {
 	return &c.shards[d.lo&c.shardMask]
 }
@@ -474,6 +476,8 @@ var keyBufPool = sync.Pool{
 // digestFor reduces an invocation's cache key to its digest. With an
 // append-capable generator the key bytes live only in a pooled scratch
 // buffer; otherwise the generator's Key string is hashed and dropped.
+//
+//lint:hotpath
 func (c *Cache) digestFor(ictx *client.Context) (keyDigest, error) {
 	if c.keyapp != nil {
 		bp := keyBufPool.Get().(*[]byte)
@@ -765,6 +769,8 @@ func (c *Cache) refreshStale(d keyDigest, op OperationPolicy, ictx *client.Conte
 
 // loadPayload materializes a stored payload, timing the copy-out stage
 // and counting a per-representation hit (serve) or error.
+//
+//lint:hotpath
 func (c *Cache) loadPayload(op string, store ValueStore, payload any) (any, bool) {
 	var start time.Time
 	if c.timed {
@@ -806,6 +812,8 @@ func (c *Cache) entryTTL(op OperationPolicy, ictx *client.Context) time.Duration
 
 // lookup returns the materialized application object for the digest if
 // a fresh entry exists; op names the operation for stage attribution.
+//
+//lint:hotpath
 func (c *Cache) lookup(d keyDigest, op string) (any, bool) {
 	var start time.Time
 	if c.timed {

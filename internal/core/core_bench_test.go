@@ -67,7 +67,7 @@ func benchCtx(q any) *client.Context {
 		Ctx:       context.Background(),
 		Endpoint:  "http://bench/endpoint",
 		Namespace: "urn:Bench",
-		Operation: "get",
+		Operation: opGet,
 		Params: []soap.Param{
 			{Name: "key", Value: "k"},
 			{Name: "q", Value: q},

@@ -123,7 +123,7 @@ func TestCacheHitSkipsPivot(t *testing.T) {
 	c := newCache(t, f, nil)
 	next, calls := countingNext(f, t, func() any { return &item{Name: "a", Score: 1} })
 
-	ictx1 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx1 := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx1, next); err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestCacheHitSkipsPivot(t *testing.T) {
 		t.Error("first call reported as hit")
 	}
 
-	ictx2 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx2 := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx2, next); err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestCacheDifferentParamsMiss(t *testing.T) {
 	next, calls := countingNext(f, t, func() any { n++; return &item{Name: fmt.Sprintf("r%d", n)} })
 
 	for _, q := range []string{"a", "b", "a", "b"} {
-		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: q})
+		ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: q})
 		if err := c.HandleInvoke(ictx, next); err != nil {
 			t.Fatal(err)
 		}
@@ -180,7 +180,7 @@ func TestCallByCopySemantics(t *testing.T) {
 	orig := &item{Name: "original", Tags: []string{"t1"}}
 	next, _ := countingNext(f, t, func() any { return orig })
 
-	ictx1 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx1 := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx1, next); err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestCallByCopySemantics(t *testing.T) {
 	ictx1.Result.(*item).Name = "mutated-by-client"
 	ictx1.Result.(*item).Tags[0] = "mutated"
 
-	ictx2 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx2 := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx2, next); err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestCallByCopySemantics(t *testing.T) {
 
 	// Mutating the hit result must not affect later hits either.
 	got.Name = "mutated-again"
-	ictx3 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx3 := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx3, next); err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestTTLExpiry(t *testing.T) {
 	next, calls := countingNext(f, t, func() any { return &item{Name: "x"} })
 
 	run := func() *client.Context {
-		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+		ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 		if err := c.HandleInvoke(ictx, next); err != nil {
 			t.Fatal(err)
 		}
@@ -311,7 +311,7 @@ func TestErrorFromPivotNotCached(t *testing.T) {
 		return nil
 	}
 
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx, next); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
@@ -320,7 +320,7 @@ func TestErrorFromPivotNotCached(t *testing.T) {
 	}
 
 	fail = false
-	ictx2 := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx2 := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx2, next); err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +338,7 @@ func TestLRUEvictionByEntries(t *testing.T) {
 	next, _ := countingNext(f, t, func() any { return &item{Name: "v"} })
 
 	get := func(q string) *client.Context {
-		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: q})
+		ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: q})
 		if err := c.HandleInvoke(ictx, next); err != nil {
 			t.Fatal(err)
 		}
@@ -377,7 +377,7 @@ func TestEvictionByBytes(t *testing.T) {
 	next, _ := countingNext(f, t, func() any { return &item{Name: "v", Tags: big} })
 
 	for i := 0; i < 10; i++ {
-		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: fmt.Sprintf("q%d", i)})
+		ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: fmt.Sprintf("q%d", i)})
 		if err := c.HandleInvoke(ictx, next); err != nil {
 			t.Fatal(err)
 		}
@@ -398,7 +398,7 @@ func TestClear(t *testing.T) {
 	f := newFixture(t)
 	c := newCache(t, f, nil)
 	next, _ := countingNext(f, t, func() any { return &item{} })
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +418,7 @@ func TestKeyGenFailureFailsOpen(t *testing.T) {
 
 	// A struct param has no value-based string form: key generation
 	// fails, the invocation must still succeed, uncached.
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: &item{Name: "param"}})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: &item{Name: "param"}})
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +435,7 @@ func TestStoreFailureFailsOpen(t *testing.T) {
 	c := newCache(t, f, func(cfg *Config) { cfg.Store = NewCloneCopyStore() })
 	next, _ := countingNext(f, t, func() any { return &item{} }) // item is not a Cloner
 
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}
@@ -518,7 +518,7 @@ func TestCacheConcurrentAccess(t *testing.T) {
 			var err error
 			defer func() { done <- err }()
 			for i := 0; i < 200; i++ {
-				ictx := f.reqCtx("get", soap.Param{Name: "q", Value: fmt.Sprintf("q%d", (g+i)%24)})
+				ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: fmt.Sprintf("q%d", (g+i)%24)})
 				if e := c.HandleInvoke(ictx, next); e != nil {
 					err = e
 					return

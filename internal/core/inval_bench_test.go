@@ -16,18 +16,18 @@ import (
 // acceptance guard holding the delta under 5%.
 
 // benchInvalidator builds an invalidator whose graph declares the
-// benchmark's "get" operation as reading two keyspaces — one per-key,
+// benchmark's opGet operation as reading two keyspaces — one per-key,
 // one shared — so every cached entry carries two stamps, matching the
 // item-store shape (item:<key> plus the listing keyspace).
 func benchInvalidator() *invalidate.Invalidator {
 	g := invalidate.NewGraph().
-		Read("get", func(params []soap.Param) []invalidate.Keyspace {
+		Read(opGet, func(params []soap.Param) []invalidate.Keyspace {
 			q, _ := params[1].Value.(string)
-			return []invalidate.Keyspace{invalidate.Keyspace("item:" + q), "items"}
+			return []invalidate.Keyspace{invalidate.Keyspace(itemPrefix + q), ksItems}
 		}).
-		Write("put", func(params []soap.Param) []invalidate.Keyspace {
+		Write(opPut, func(params []soap.Param) []invalidate.Keyspace {
 			q, _ := params[1].Value.(string)
-			return []invalidate.Keyspace{invalidate.Keyspace("item:" + q), "items"}
+			return []invalidate.Keyspace{invalidate.Keyspace(itemPrefix + q), ksItems}
 		})
 	return invalidate.New(g, nil)
 }

@@ -15,27 +15,42 @@ import (
 	"repro/internal/soap"
 )
 
-// testGraph declares "get" reading and "put" writing the per-item
+// Operation and keyspace names shared by the core test suite. The
+// values follow the WSDL do* convention, and the per-item keyspace
+// prefix lives here once, as the epochgraph analyzer demands.
+const (
+	opGet = "doGet"
+	opPut = "doPut"
+
+	itemPrefix = "item:"
+)
+
+const (
+	ksItems = invalidate.Keyspace("items")
+	ksItemX = invalidate.Keyspace(itemPrefix + "x")
+)
+
+// testGraph declares opGet reading and opPut writing the per-item
 // keyspace named by the q parameter.
 func testGraph() *invalidate.Graph {
 	ksOf := func(params []soap.Param) []invalidate.Keyspace {
 		for _, p := range params {
 			if p.Name == "q" {
 				if s, ok := p.Value.(string); ok {
-					return []invalidate.Keyspace{invalidate.Keyspace("item:" + s)}
+					return []invalidate.Keyspace{invalidate.Keyspace(itemPrefix + s)}
 				}
 			}
 		}
 		return nil
 	}
 	g := invalidate.NewGraph()
-	g.Read("get", ksOf)
-	g.Write("put", ksOf)
+	g.Read(opGet, ksOf)
+	g.Write(opPut, ksOf)
 	return g
 }
 
-// newInvalCache builds a cache with the test graph installed and "get"
-// cacheable, "put" an uncacheable write-through operation.
+// newInvalCache builds a cache with the test graph installed and opGet
+// cacheable, opPut an uncacheable write-through operation.
 func newInvalCache(t *testing.T, f *fixture, mutate func(*Config)) (*Cache, *invalidate.Invalidator) {
 	t.Helper()
 	inv := invalidate.New(testGraph(), nil)
@@ -44,7 +59,7 @@ func newInvalCache(t *testing.T, f *fixture, mutate func(*Config)) (*Cache, *inv
 		cfg.Policy = Policy{
 			Default:         OperationPolicy{Cacheable: false},
 			DefaultExplicit: true,
-			Operations:      map[string]OperationPolicy{"get": {Cacheable: true}},
+			Operations:      map[string]OperationPolicy{opGet: {Cacheable: true}},
 		}
 		if mutate != nil {
 			mutate(cfg)
@@ -59,10 +74,10 @@ func TestWriteInvalidatesDependentEntry(t *testing.T) {
 	next, calls := countingNext(f, t, func() any { return &item{Name: "v", Score: 1} })
 
 	q := soap.Param{Name: "q", Value: "x"}
-	if err := c.HandleInvoke(f.reqCtx("get", q), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, q), next); err != nil {
 		t.Fatal(err)
 	}
-	ictx := f.reqCtx("get", q)
+	ictx := f.reqCtx(opGet, q)
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +87,11 @@ func TestWriteInvalidatesDependentEntry(t *testing.T) {
 
 	// Write-through call on the same keyspace: flows through the bypass
 	// path (put is uncacheable) and must bump the epoch.
-	if err := c.HandleInvoke(f.reqCtx("put", q), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opPut, q), next); err != nil {
 		t.Fatal(err)
 	}
 
-	ictx = f.reqCtx("get", q)
+	ictx = f.reqCtx(opGet, q)
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +110,7 @@ func TestWriteInvalidatesDependentEntry(t *testing.T) {
 	}
 
 	// The refill is stamped with the post-write epoch and hits again.
-	ictx = f.reqCtx("get", q)
+	ictx = f.reqCtx(opGet, q)
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}
@@ -109,13 +124,13 @@ func TestWriteToOtherKeyspaceLeavesEntry(t *testing.T) {
 	c, _ := newInvalCache(t, f, nil)
 	next, _ := countingNext(f, t, func() any { return &item{Name: "v", Score: 1} })
 
-	if err := c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "x"}), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"}), next); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.HandleInvoke(f.reqCtx("put", soap.Param{Name: "q", Value: "other"}), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opPut, soap.Param{Name: "q", Value: "other"}), next); err != nil {
 		t.Fatal(err)
 	}
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}
@@ -130,19 +145,19 @@ func TestWriteFaultDoesNotInvalidate(t *testing.T) {
 	next, _ := countingNext(f, t, func() any { return &item{Name: "v", Score: 1} })
 
 	q := soap.Param{Name: "q", Value: "x"}
-	if err := c.HandleInvoke(f.reqCtx("get", q), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, q), next); err != nil {
 		t.Fatal(err)
 	}
 
 	// A SOAP fault proves the backend rejected the write: no bump.
 	fault := &soap.Fault{Code: "soapenv:Server", String: "rejected"}
-	if err := c.HandleInvoke(f.reqCtx("put", q), failingNext(fault)); err == nil {
+	if err := c.HandleInvoke(f.reqCtx(opPut, q), failingNext(fault)); err == nil {
 		t.Fatal("faulting put reported success")
 	}
-	if got := inv.Epoch("item:x"); got != 0 {
+	if got := inv.Epoch(ksItemX); got != 0 {
 		t.Errorf("epoch after faulted write = %d, want 0", got)
 	}
-	ictx := f.reqCtx("get", q)
+	ictx := f.reqCtx(opGet, q)
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}
@@ -152,13 +167,13 @@ func TestWriteFaultDoesNotInvalidate(t *testing.T) {
 
 	// A transport-level error leaves the outcome unknown: the write may
 	// have reached the backend, so it invalidates conservatively.
-	if err := c.HandleInvoke(f.reqCtx("put", q), failingNext(errors.New("conn reset"))); err == nil {
+	if err := c.HandleInvoke(f.reqCtx(opPut, q), failingNext(errors.New("conn reset"))); err == nil {
 		t.Fatal("failing put reported success")
 	}
-	if got := inv.Epoch("item:x"); got != 1 {
+	if got := inv.Epoch(ksItemX); got != 1 {
 		t.Errorf("epoch after unknown-outcome write = %d, want 1", got)
 	}
-	ictx = f.reqCtx("get", q)
+	ictx = f.reqCtx(opGet, q)
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}
@@ -178,14 +193,14 @@ func TestStaleOnErrorRefusesInvalidatedEntry(t *testing.T) {
 	next, _ := countingNext(f, t, func() any { return &item{Name: "old", Score: 1} })
 
 	q := soap.Param{Name: "q", Value: "x"}
-	if err := c.HandleInvoke(f.reqCtx("get", q), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, q), next); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(3 * time.Minute) // expired, inside the grace window
 
 	// Without a write, degraded serving works.
 	boom := errors.New("backend down")
-	ictx := f.reqCtx("get", q)
+	ictx := f.reqCtx(opGet, q)
 	if err := c.HandleInvoke(ictx, failingNext(boom)); err != nil || !ictx.ServedStale {
 		t.Fatalf("pre-write degraded serve: err=%v stale=%v", err, ictx.ServedStale)
 	}
@@ -195,9 +210,9 @@ func TestStaleOnErrorRefusesInvalidatedEntry(t *testing.T) {
 	// racing one: the write lands while the backend call is already
 	// failing. The retained stale entry passed lookup's epoch check, but
 	// degraded serving must re-check and refuse it.
-	ictx = f.reqCtx("get", q)
+	ictx = f.reqCtx(opGet, q)
 	err := c.HandleInvoke(ictx, func(*client.Context) error {
-		inv.Bump("item:x") // concurrent write during the outage
+		inv.Bump(ksItemX) // concurrent write during the outage
 		return boom
 	})
 	if !errors.Is(err, boom) {
@@ -213,14 +228,14 @@ func TestStaleOnErrorRefusesInvalidatedEntry(t *testing.T) {
 
 	// And the eager path: a committed write followed by a failed read
 	// surfaces the error too (the entry was dropped at lookup).
-	if err := c.HandleInvoke(f.reqCtx("get", q), next); err != nil { // refill
+	if err := c.HandleInvoke(f.reqCtx(opGet, q), next); err != nil { // refill
 		t.Fatal(err)
 	}
 	clock.Advance(3 * time.Minute)
-	if err := c.HandleInvoke(f.reqCtx("put", q), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opPut, q), next); err != nil {
 		t.Fatal(err)
 	}
-	ictx = f.reqCtx("get", q)
+	ictx = f.reqCtx(opGet, q)
 	if err := c.HandleInvoke(ictx, failingNext(boom)); !errors.Is(err, boom) || ictx.ServedStale {
 		t.Errorf("eager-drop degraded serve: err=%v stale=%v, want %v/false", err, ictx.ServedStale, boom)
 	}
@@ -272,7 +287,7 @@ func TestRevalidationRefusesInvalidatedEntry(t *testing.T) {
 	writeNext, _ := countingNext(f, t, func() any { return &item{Name: "w", Score: 1} })
 
 	q := soap.Param{Name: "q", Value: "x"}
-	if err := c.HandleInvoke(f.reqCtx("get", q), backend.invoke); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, q), backend.invoke); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(2 * time.Minute) // stale, validator retained
@@ -280,10 +295,10 @@ func TestRevalidationRefusesInvalidatedEntry(t *testing.T) {
 	// A write invalidates the stale entry. The next get must NOT send a
 	// conditional request (the server would answer 304 and resurrect
 	// pre-write data); it must refetch unconditionally.
-	if err := c.HandleInvoke(f.reqCtx("put", q), writeNext); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opPut, q), writeNext); err != nil {
 		t.Fatal(err)
 	}
-	ictx := f.reqCtx("get", q)
+	ictx := f.reqCtx(opGet, q)
 	if err := c.HandleInvoke(ictx, backend.invoke); err != nil {
 		t.Fatal(err)
 	}
@@ -312,17 +327,17 @@ func TestRevalidation304RaceFallsBackToRefetch(t *testing.T) {
 	// refreshStale must notice the bump and force an unconditional
 	// refetch instead of refreshing pre-write data.
 	backend.onCond = func() {
-		inv.Bump("item:x")
+		inv.Bump(ksItemX)
 		backend.answer304 = false // the refetch gets a full response
 	}
 
 	q := soap.Param{Name: "q", Value: "x"}
-	if err := c.HandleInvoke(f.reqCtx("get", q), backend.invoke); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, q), backend.invoke); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(2 * time.Minute)
 
-	ictx := f.reqCtx("get", q)
+	ictx := f.reqCtx(opGet, q)
 	if err := c.HandleInvoke(ictx, backend.invoke); err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +367,7 @@ func TestSweepReclaimsInvalidatedEntries(t *testing.T) {
 
 	for i := 0; i < 8; i++ {
 		q := soap.Param{Name: "q", Value: fmt.Sprintf("k%d", i)}
-		if err := c.HandleInvoke(f.reqCtx("get", q), next); err != nil {
+		if err := c.HandleInvoke(f.reqCtx(opGet, q), next); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -424,7 +439,7 @@ func TestInvalidationConcurrentStress(t *testing.T) {
 				}
 				k := (w + i) % keys
 				writeMu[k].Lock()
-				err := c.HandleInvoke(f.reqCtx("put", soap.Param{Name: "q", Value: fmt.Sprintf("k%d", k)}), writeNext)
+				err := c.HandleInvoke(f.reqCtx(opPut, soap.Param{Name: "q", Value: fmt.Sprintf("k%d", k)}), writeNext)
 				if err == nil {
 					// HandleInvoke bumped the epoch before returning, so
 					// advancing the floor here is safe: any read starting
@@ -447,7 +462,7 @@ func TestInvalidationConcurrentStress(t *testing.T) {
 				}
 				k := (r + i) % keys
 				floor := committed[k].Load()
-				ictx := f.reqCtx("get", soap.Param{Name: "q", Value: fmt.Sprintf("k%d", k)})
+				ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: fmt.Sprintf("k%d", k)})
 				if err := c.HandleInvoke(ictx, readNext); err != nil {
 					t.Errorf("read: %v", err)
 					return
@@ -489,13 +504,13 @@ func TestInvalidationConcurrentStress(t *testing.T) {
 	// once regardless of how the stress goroutines interleaved: fill,
 	// invalidate via a committed write, and look up again.
 	q := soap.Param{Name: "q", Value: "k0"}
-	if err := c.HandleInvoke(f.reqCtx("get", q), readNext); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, q), readNext); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.HandleInvoke(f.reqCtx("put", q), writeNext); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opPut, q), writeNext); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.HandleInvoke(f.reqCtx("get", q), readNext); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, q), readNext); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Stats().Invalidations; got == 0 {
@@ -519,13 +534,13 @@ func TestCoalesceFollowerDeadlineBound(t *testing.T) {
 	}
 
 	go func() {
-		_ = c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "x"}), leaderNext)
+		_ = c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"}), leaderNext)
 	}()
 	<-entered
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	ictx.Ctx = ctx
 	start := time.Now()
 	err := c.HandleInvoke(ictx, failingNext(errors.New("follower must not invoke")))
@@ -550,7 +565,7 @@ func TestCoalesceLeaderPanicDoesNotStrandFollowers(t *testing.T) {
 	leaderDied := make(chan any, 1)
 	go func() {
 		defer func() { leaderDied <- recover() }()
-		_ = c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "x"}), func(*client.Context) error {
+		_ = c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"}), func(*client.Context) error {
 			close(entered)
 			<-release
 			panic("filler died")
@@ -560,7 +575,7 @@ func TestCoalesceLeaderPanicDoesNotStrandFollowers(t *testing.T) {
 
 	next, _ := countingNext(f, t, func() any { return &item{Name: "self", Score: 1} })
 	followerDone := make(chan error, 1)
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	go func() { followerDone <- c.HandleInvoke(ictx, next) }()
 
 	// Let the follower reach the flight wait, then kill the leader.

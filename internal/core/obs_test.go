@@ -19,7 +19,7 @@ func TestCacheRecordsIntoRegistry(t *testing.T) {
 	var mu sync.Mutex
 	var traced []obs.Stage
 	tracer := obs.TracerFunc(func(op string, stage obs.Stage, rep string, d time.Duration, err error) {
-		if op != "get" {
+		if op != opGet {
 			t.Errorf("OnStage op = %q, want get", op)
 		}
 		if err != nil {
@@ -36,14 +36,14 @@ func TestCacheRecordsIntoRegistry(t *testing.T) {
 	next, _ := countingNext(f, t, func() any { return &item{Name: "a"} })
 
 	for i := 0; i < 2; i++ { // miss, then hit
-		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+		ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 		if err := c.HandleInvoke(ictx, next); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	snap := reg.Snapshot()
-	op := snap.Operations["get"]
+	op := snap.Operations[opGet]
 	if op.Hits != 1 || op.Misses != 1 || op.Stores != 1 {
 		t.Errorf("op counters = %+v, want 1 hit, 1 miss, 1 store", op)
 	}
@@ -77,7 +77,7 @@ func TestStatsMatchRegistry(t *testing.T) {
 	c := newCache(t, f, func(cfg *Config) { cfg.Obs = reg })
 	next, _ := countingNext(f, t, func() any { return &item{Name: "a"} })
 	for i := 0; i < 3; i++ {
-		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+		ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 		if err := c.HandleInvoke(ictx, next); err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func TestUninstrumentedCacheSkipsStages(t *testing.T) {
 	c := newCache(t, f, nil)
 	next, _ := countingNext(f, t, func() any { return &item{Name: "a"} })
 	for i := 0; i < 2; i++ {
-		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+		ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 		if err := c.HandleInvoke(ictx, next); err != nil {
 			t.Fatal(err)
 		}

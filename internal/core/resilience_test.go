@@ -48,12 +48,12 @@ func TestStaleOnErrorServesExpiredEntry(t *testing.T) {
 	next, calls := countingNext(f, t, func() any { return &item{Name: "cached", Score: 7} })
 
 	// Fill, then expire past the TTL but stay inside the grace window.
-	if err := c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "x"}), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"}), next); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(3 * time.Minute)
 
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	boom := errors.New("backend unreachable")
 	if err := c.HandleInvoke(ictx, failingNext(boom)); err != nil {
 		t.Fatalf("HandleInvoke = %v, want degraded success", err)
@@ -73,7 +73,7 @@ func TestStaleOnErrorServesExpiredEntry(t *testing.T) {
 
 	// Once the backend answers again, the entry is refilled and served
 	// fresh, not stale.
-	ictx = f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx = f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}
@@ -91,14 +91,14 @@ func TestStaleOnErrorWindowExpires(t *testing.T) {
 		cfg.Clock = clock.Now
 	})
 	next, _ := countingNext(f, t, func() any { return &item{Name: "cached"} })
-	if err := c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "x"}), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"}), next); err != nil {
 		t.Fatal(err)
 	}
 
 	// Past TTL + grace: the error must surface.
 	clock.Advance(10 * time.Minute)
 	boom := errors.New("backend unreachable")
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx, failingNext(boom)); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v", err, boom)
 	}
@@ -116,7 +116,7 @@ func TestStaleOnErrorDoesNotMaskFaults(t *testing.T) {
 		cfg.Clock = clock.Now
 	})
 	next, _ := countingNext(f, t, func() any { return &item{Name: "cached"} })
-	if err := c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "x"}), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"}), next); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(2 * time.Minute)
@@ -124,7 +124,7 @@ func TestStaleOnErrorDoesNotMaskFaults(t *testing.T) {
 	// A SOAP fault is an application answer: it must propagate even
 	// though a stale entry is available.
 	fault := &soap.Fault{Code: "soapenv:Server", String: "no such symbol"}
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	err := c.HandleInvoke(ictx, failingNext(fault))
 	var got *soap.Fault
 	if !errors.As(err, &got) {
@@ -146,12 +146,12 @@ func TestStaleOnErrorDisabledByDefault(t *testing.T) {
 		cfg.Clock = clock.Now
 	})
 	next, _ := countingNext(f, t, func() any { return &item{Name: "cached"} })
-	if err := c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "x"}), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"}), next); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(2 * time.Minute)
 	boom := errors.New("down")
-	if err := c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "x"}), failingNext(boom)); !errors.Is(err, boom) {
+	if err := c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"}), failingNext(boom)); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v (StaleIfError off)", err, boom)
 	}
 }
@@ -163,14 +163,14 @@ func TestErrorPropagationThroughCacheHandler(t *testing.T) {
 	c := newCache(t, f, nil)
 
 	fault := &soap.Fault{Code: "soapenv:Server", String: "boom"}
-	err := c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "a"}), failingNext(fault))
+	err := c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "a"}), failingNext(fault))
 	var gotFault *soap.Fault
 	if !errors.As(err, &gotFault) || gotFault.String != "boom" {
 		t.Fatalf("err = %v, want fault", err)
 	}
 
 	statusErr := &transport.StatusError{Status: 503, Body: "unavailable"}
-	err = c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "b"}), failingNext(statusErr))
+	err = c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "b"}), failingNext(statusErr))
 	var gotStatus *transport.StatusError
 	if !errors.As(err, &gotStatus) || gotStatus.Status != 503 {
 		t.Fatalf("err = %v, want StatusError 503", err)
@@ -206,7 +206,7 @@ func TestCoalesceConcurrentMissesSingleBackendCall(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "hot"})
+			ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "hot"})
 			errs[i] = c.HandleInvoke(ictx, next)
 			results[i] = ictx
 		}(i)
@@ -260,7 +260,7 @@ func TestCoalesceSharesLeaderError(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "hot"}), next)
+			errs[i] = c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "hot"}), next)
 		}(i)
 	}
 	time.Sleep(100 * time.Millisecond)
@@ -294,14 +294,14 @@ func TestCoalesceFollowerHonorsContextCancellation(t *testing.T) {
 	leaderRunning := make(chan struct{})
 	go func() {
 		close(leaderRunning)
-		_ = c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "hot"}), next)
+		_ = c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "hot"}), next)
 	}()
 	<-leaderRunning
 	time.Sleep(50 * time.Millisecond) // let the leader register its flight
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "hot"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "hot"})
 	ictx.Ctx = ctx
 	err := c.HandleInvoke(ictx, next)
 	if !errors.Is(err, context.DeadlineExceeded) {
@@ -319,7 +319,7 @@ func TestCoalescedFollowersServeStaleOnLeaderError(t *testing.T) {
 		cfg.Clock = clock.Now
 	})
 	next, _ := countingNext(f, t, func() any { return &item{Name: "cached"} })
-	if err := c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "x"}), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"}), next); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(2 * time.Minute)
@@ -338,7 +338,7 @@ func TestCoalescedFollowersServeStaleOnLeaderError(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+			ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 			errs[i] = c.HandleInvoke(ictx, failing)
 			results[i] = ictx
 		}(i)
@@ -370,7 +370,7 @@ func TestSweepRespectsStaleWindow(t *testing.T) {
 		cfg.Clock = clock.Now
 	})
 	next, _ := countingNext(f, t, func() any { return &item{Name: "x"} })
-	if err := c.HandleInvoke(f.reqCtx("get", soap.Param{Name: "q", Value: "a"}), next); err != nil {
+	if err := c.HandleInvoke(f.reqCtx(opGet, soap.Param{Name: "q", Value: "a"}), next); err != nil {
 		t.Fatal(err)
 	}
 

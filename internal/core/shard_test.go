@@ -37,7 +37,7 @@ func shardReq(q string) *client.Context {
 		Ctx:       context.Background(),
 		Endpoint:  "http://test/endpoint",
 		Namespace: "urn:ShardTest",
-		Operation: "get",
+		Operation: opGet,
 		Params:    []soap.Param{{Name: "q", Value: q}},
 	}
 }

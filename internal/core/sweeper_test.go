@@ -30,7 +30,7 @@ func TestSweepExpired(t *testing.T) {
 	next, _ := countingNext(f, t, func() any { return &item{Name: "x"} })
 
 	for _, q := range []string{"a", "b", "c"} {
-		ictx := f.reqCtx("get", soap.Param{Name: "q", Value: q})
+		ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: q})
 		if err := c.HandleInvoke(ictx, next); err != nil {
 			t.Fatal(err)
 		}
@@ -45,7 +45,7 @@ func TestSweepExpired(t *testing.T) {
 	}
 
 	advance(30 * time.Second)
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "d"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "d"})
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestSweeperLifecycle(t *testing.T) {
 		}
 	})
 	next, _ := countingNext(f, t, func() any { return &item{} })
-	ictx := f.reqCtx("get", soap.Param{Name: "q", Value: "x"})
+	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
 	if err := c.HandleInvoke(ictx, next); err != nil {
 		t.Fatal(err)
 	}

@@ -9,30 +9,47 @@ import (
 	"repro/internal/soap"
 )
 
-// itemGraph declares the canonical shape: GetItem reads one item and
-// PutItem writes that item plus the coarse all-items family that
-// ListItems reads.
+// Operation and keyspace names for the item-store shape the tests
+// model. Values follow the WSDL do* convention; the keyspace prefix is
+// declared once, per the epochgraph analyzer's rules.
+const (
+	opGetItem   = "doGetItem"
+	opListItems = "doListItems"
+	opPutItem   = "doPutItem"
+
+	itemPrefix = "item:"
+)
+
+const (
+	ksItems     = Keyspace("items")
+	ksItemX     = Keyspace(itemPrefix + "x")
+	ksItemNever = Keyspace(itemPrefix + "never")
+)
+
+// itemGraph declares the canonical shape: opGetItem reads one item and
+// opPutItem writes that item plus the coarse all-items family that
+// opListItems reads.
 func itemGraph() *Graph {
 	itemOf := func(params []soap.Param) []Keyspace {
 		for _, p := range params {
 			if p.Name == "key" {
-				return []Keyspace{Keyspace("item:" + p.Value.(string)), "items"}
+				return []Keyspace{Keyspace(itemPrefix + p.Value.(string)), ksItems}
 			}
 		}
-		return []Keyspace{"items"}
+		return []Keyspace{ksItems}
 	}
 	readOf := func(params []soap.Param) []Keyspace {
 		for _, p := range params {
 			if p.Name == "key" {
-				return []Keyspace{Keyspace("item:" + p.Value.(string))}
+				return []Keyspace{Keyspace(itemPrefix + p.Value.(string))}
 			}
 		}
 		return nil
 	}
 	g := NewGraph()
-	g.Read("GetItem", readOf)
-	g.Read("ListItems", Fixed("items"))
-	g.Write("PutItem", itemOf)
+	g.Read(opGetItem, readOf)
+	g.Read(opListItems, Fixed(ksItems))
+	g.Write(opPutItem, itemOf)
 	return g
 }
 
@@ -43,9 +60,9 @@ func params(key string) []soap.Param {
 func TestStampsInvalidatedByDeclaredWrite(t *testing.T) {
 	inv := New(itemGraph(), nil)
 
-	a := inv.ReadStamps("GetItem", params("a"))
-	b := inv.ReadStamps("GetItem", params("b"))
-	list := inv.ReadStamps("ListItems", nil)
+	a := inv.ReadStamps(opGetItem, params("a"))
+	b := inv.ReadStamps(opGetItem, params("b"))
+	list := inv.ReadStamps(opListItems, nil)
 	if len(a) != 1 || len(b) != 1 || len(list) != 1 {
 		t.Fatalf("stamp lengths = %d,%d,%d, want 1,1,1", len(a), len(b), len(list))
 	}
@@ -53,7 +70,7 @@ func TestStampsInvalidatedByDeclaredWrite(t *testing.T) {
 		t.Fatal("fresh stamps report stale")
 	}
 
-	if n := inv.CommitWrite("PutItem", params("a")); n != 2 {
+	if n := inv.CommitWrite(opPutItem, params("a")); n != 2 {
 		t.Fatalf("CommitWrite bumped %d keyspaces, want 2 (item:a + items)", n)
 	}
 	if !Stale(a) {
@@ -67,7 +84,7 @@ func TestStampsInvalidatedByDeclaredWrite(t *testing.T) {
 	}
 
 	// Re-stamping after the write is fresh again.
-	if a2 := inv.ReadStamps("GetItem", params("a")); Stale(a2) {
+	if a2 := inv.ReadStamps(opGetItem, params("a")); Stale(a2) {
 		t.Error("post-write re-stamp reports stale")
 	}
 }
@@ -83,7 +100,7 @@ func TestUndeclaredOperationsHaveNoStamps(t *testing.T) {
 	if inv.WritesDeclared("doGoogleSearch") {
 		t.Error("WritesDeclared true for undeclared op")
 	}
-	if !inv.WritesDeclared("PutItem") {
+	if !inv.WritesDeclared(opPutItem) {
 		t.Error("WritesDeclared false for declared op")
 	}
 	if Stale(nil) {
@@ -95,15 +112,15 @@ func TestBumpAndEpochGauges(t *testing.T) {
 	reg := obs.NewRegistry()
 	inv := New(itemGraph(), reg)
 
-	inv.Bump("items")
-	inv.CommitWrite("PutItem", params("x"))
-	if got := inv.Epoch("items"); got != 2 {
+	inv.Bump(ksItems)
+	inv.CommitWrite(opPutItem, params("x"))
+	if got := inv.Epoch(ksItems); got != 2 {
 		t.Errorf("Epoch(items) = %d, want 2", got)
 	}
-	if got := inv.Epoch("item:x"); got != 1 {
+	if got := inv.Epoch(ksItemX); got != 1 {
 		t.Errorf("Epoch(item:x) = %d, want 1", got)
 	}
-	if got := inv.Epoch("item:never"); got != 0 {
+	if got := inv.Epoch(ksItemNever); got != 0 {
 		t.Errorf("Epoch(item:never) = %d, want 0", got)
 	}
 
@@ -121,7 +138,7 @@ func TestBumpAndEpochGauges(t *testing.T) {
 	if table["items"] != 2 || table["item:x"] != 1 {
 		t.Errorf("inspection table = %v, want items=2 item:x=1", table)
 	}
-	if ks := inv.Keyspaces(); len(ks) != 2 || ks[0] != "item:x" || ks[1] != "items" {
+	if ks := inv.Keyspaces(); len(ks) != 2 || ks[0] != ksItemX || ks[1] != ksItems {
 		t.Errorf("Keyspaces() = %v", ks)
 	}
 }
@@ -141,7 +158,7 @@ func TestConcurrentStampsAndWrites(t *testing.T) {
 		go func(w int) {
 			defer writerWG.Done()
 			for i := 0; i < writesEach; i++ {
-				inv.CommitWrite("PutItem", params(fmt.Sprintf("k%d", w%2)))
+				inv.CommitWrite(opPutItem, params(fmt.Sprintf("k%d", w%2)))
 			}
 		}(w)
 	}
@@ -154,11 +171,11 @@ func TestConcurrentStampsAndWrites(t *testing.T) {
 				return
 			default:
 			}
-			s := inv.ReadStamps("GetItem", params("k0"))
+			s := inv.ReadStamps(opGetItem, params("k0"))
 			// Staleness may flip from false to true under concurrent
 			// writes; calling it concurrently is the point.
 			Stale(s)
-			Stale(inv.ReadStamps("ListItems", nil))
+			Stale(inv.ReadStamps(opListItems, nil))
 		}
 	}()
 
@@ -166,11 +183,11 @@ func TestConcurrentStampsAndWrites(t *testing.T) {
 	close(stop)
 	readerWG.Wait()
 
-	if got := inv.Epoch("items"); got != writers*writesEach {
+	if got := inv.Epoch(ksItems); got != writers*writesEach {
 		t.Errorf("Epoch(items) = %d, want %d", got, writers*writesEach)
 	}
 	// Quiesced: a fresh stamp must be stable.
-	if Stale(inv.ReadStamps("ListItems", nil)) {
+	if Stale(inv.ReadStamps(opListItems, nil)) {
 		t.Error("stamp taken after all writes completed reports stale")
 	}
 }

@@ -6,9 +6,13 @@ import "repro/internal/lint"
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		AliasCopy(),
+		AtomicMix(),
 		LockGuard(),
 		CtxFlow(),
 		ClockInject(nil),
+		EpochGraph(),
+		HotPath(),
+		ObsKey(),
 		XMLEscape(nil),
 		TypeMapReg(),
 	}

@@ -44,6 +44,11 @@ func runClockInject(pass *lint.Pass, scope func(string) bool) {
 	}
 	info := pass.Pkg.Info
 	for _, file := range pass.Pkg.Files {
+		if pass.Pkg.TestFile(file) {
+			// Tests drive the injected clock but may legitimately read
+			// the wall clock for seeds, timeouts, and benchmarks.
+			continue
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {

@@ -114,6 +114,10 @@ func runGolden(t *testing.T, a *lint.Analyzer) {
 func fixtureScope(string) bool { return true }
 
 func TestAliasCopyGolden(t *testing.T)   { runGolden(t, AliasCopy()) }
+func TestAtomicMixGolden(t *testing.T)   { runGolden(t, AtomicMix()) }
+func TestEpochGraphGolden(t *testing.T)  { runGolden(t, EpochGraph()) }
+func TestHotPathGolden(t *testing.T)     { runGolden(t, HotPath()) }
+func TestObsKeyGolden(t *testing.T)      { runGolden(t, ObsKey()) }
 func TestLockGuardGolden(t *testing.T)   { runGolden(t, LockGuard()) }
 func TestCtxFlowGolden(t *testing.T)     { runGolden(t, CtxFlow()) }
 func TestClockInjectGolden(t *testing.T) { runGolden(t, ClockInject(fixtureScope)) }

@@ -1,0 +1,54 @@
+package checks
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzerCoverage keeps the suite honest as it grows: every
+// analyzer wired into All() must ship a golden fixture that actually
+// asserts something (at least one // want comment) and must be
+// documented in the README's lint section. An analyzer failing this
+// test exists only nominally — nothing proves it fires and nobody can
+// discover it.
+func TestAnalyzerCoverage(t *testing.T) {
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, a := range All() {
+		dir := filepath.Join("testdata", "src", a.Name)
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Errorf("analyzer %s has no golden fixture under %s", a.Name, dir)
+			continue
+		}
+		var hasWant bool
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(src), "// want ") {
+				hasWant = true
+				break
+			}
+		}
+		if !hasWant {
+			t.Errorf("analyzer %s fixture has no // want comments; it cannot prove the analyzer fires", a.Name)
+		}
+		if !strings.Contains(string(readme), a.Name) {
+			t.Errorf("analyzer %s is not mentioned in README.md", a.Name)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package atomicmix is the golden fixture for the atomicmix analyzer.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters mixes a sync/atomic-function field, a typed atomic, and a
+// plain mutex-guarded field (which the analyzer must leave alone).
+type counters struct {
+	hits    int64 // accessed via atomic.AddInt64
+	misses  atomic.Int64
+	buckets [4]atomic.Int64
+
+	mu    sync.Mutex
+	plain int64 // guarded by mu; never touched atomically
+}
+
+func (c *counters) record() {
+	atomic.AddInt64(&c.hits, 1)
+	c.misses.Add(1)
+	c.buckets[0].Add(1)
+
+	c.mu.Lock()
+	c.plain++ // fine: never an atomic word
+	c.mu.Unlock()
+}
+
+func (c *counters) snapshot() (int64, int64) {
+	return atomic.LoadInt64(&c.hits), c.misses.Load()
+}
+
+func (c *counters) bucketSum() int64 {
+	var total int64
+	for i := range c.buckets { // fine: index-only range reads the length
+		total += c.buckets[i].Load()
+	}
+	return total
+}
+
+func (c *counters) raceyRead() int64 {
+	return c.hits // want "plain access of field hits"
+}
+
+func (c *counters) raceyWrite() {
+	c.hits = 0 // want "plain write to field hits"
+}
+
+func (c *counters) raceyAdd(n int64) {
+	c.hits += n // want "plain write to field hits"
+}
+
+func (c *counters) copyTyped() atomic.Int64 {
+	return c.misses // want "typed sync/atomic value"
+}
+
+// addressOK passes atomics on by address, which is sanctioned.
+func (c *counters) addressOK() *atomic.Int64 {
+	observe(&c.hits)
+	return &c.misses
+}
+
+func observe(p *int64) { atomic.AddInt64(p, 1) }
+
+// initialization in a composite literal happens before publication.
+func fresh() *counters {
+	return &counters{hits: 0}
+}
+
+// pointerWords: a pointer passed directly to sync/atomic makes its
+// pointee the atomic word; plain derefs race.
+func pointerWords() int64 {
+	w := new(int64)
+	atomic.AddInt64(w, 1)
+	q := w // copying the pointer itself is fine
+	_ = q
+	return *w // want "plain dereference of w"
+}
+
+// packageWide is a package-level atomic word.
+var packageWide int64
+
+func bumpPackageWide() { atomic.AddInt64(&packageWide, 1) }
+
+func readPackageWide() int64 {
+	return packageWide // want "plain access of variable packageWide"
+}

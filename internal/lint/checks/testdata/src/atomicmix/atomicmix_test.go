@@ -1,0 +1,21 @@
+// Test files are loaded and analyzed too: a data race in a test is
+// still a data race.
+package atomicmix
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMixedAccessInTests(t *testing.T) {
+	var calls int64
+	done := make(chan struct{})
+	go func() {
+		atomic.AddInt64(&calls, 1)
+		close(done)
+	}()
+	<-done
+	if calls != 1 { // want "plain access of variable calls"
+		t.Fatal("lost update")
+	}
+}

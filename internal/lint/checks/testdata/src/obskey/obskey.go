@@ -1,0 +1,47 @@
+// Package obskey is the golden fixture for the obskey analyzer.
+package obskey
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Registration names are compile-time constants, dotted lower_snake.
+const (
+	hits      = "fixture.hits"
+	bytesSent = "fixture.bytes_sent"
+	table     = "fixture.table"
+)
+
+func clean(reg *obs.Registry) {
+	reg.Counter(hits).Add(1)
+	reg.Add(bytesSent, 64)
+	reg.Counter("fixture.inline_but_constant").Add(1)
+	reg.SetInspection(table, func() any { return nil })
+
+	// Op and Rep take data dimensions (operation and representation
+	// names arrive from the request); they are exempt by design.
+	reg.Op(dynamicName()).Hits.Add(1)
+	reg.Rep(dynamicName()).Hits.Add(1)
+}
+
+func dynamicName() string { return "doGetItem" }
+
+func dynamic(reg *obs.Registry, shard int) {
+	reg.Counter("fixture.shard_" + strconvItoa(shard)).Add(1) // want "must be a compile-time string constant"
+	reg.Add(fmt.Sprintf("fixture.shard_%d", shard), 1)        // want "must be a compile-time string constant"
+}
+
+func strconvItoa(n int) string { return fmt.Sprint(n) }
+
+func badNames(reg *obs.Registry) {
+	reg.Counter("Fixture.Hits").Add(1)    // want "does not follow the registry convention"
+	reg.Add("fixture-dashes", 1)          // want "does not follow the registry convention"
+	reg.Counter("fixture.ok_name").Add(1) // fine
+}
+
+func duplicateInspections(reg *obs.Registry) {
+	reg.SetInspection("fixture.dup", func() any { return 1 })
+	reg.SetInspection("fixture.dup", func() any { return 2 }) // want "duplicate inspection registration"
+}

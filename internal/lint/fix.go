@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ApplyFixes applies every SuggestedFix carried by diags to the files
+// on disk under base (edit paths are base-relative, as Run returns
+// them) and reports the base-relative paths of the files rewritten,
+// sorted. Edits from different diagnostics that overlap are an error:
+// two fixes fighting over the same bytes need a human. Identical edits
+// (the same diagnostic reached twice) collapse silently.
+func ApplyFixes(base string, diags []Diagnostic) ([]string, error) {
+	byFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+
+	var changed []string
+	for file, edits := range byFile {
+		path := file
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(base, filepath.FromSlash(file))
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: apply fixes: %v", err)
+		}
+		out, err := applyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("lint: apply fixes to %s: %v", file, err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: apply fixes: %v", err)
+		}
+		if err := os.WriteFile(path, out, info.Mode().Perm()); err != nil {
+			return nil, fmt.Errorf("lint: apply fixes: %v", err)
+		}
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	return changed, nil
+}
+
+// applyEdits splices edits into src, right to left so earlier offsets
+// stay valid. Duplicate edits are collapsed; overlapping distinct
+// edits or out-of-range offsets are errors.
+func applyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Offset != edits[j].Offset {
+			return edits[i].Offset < edits[j].Offset
+		}
+		return edits[i].End < edits[j].End
+	})
+	deduped := edits[:0]
+	for i, e := range edits {
+		if e.Offset < 0 || e.End < e.Offset || e.End > len(src) {
+			return nil, fmt.Errorf("edit range [%d,%d) out of bounds (file is %d bytes)", e.Offset, e.End, len(src))
+		}
+		if i > 0 {
+			prev := deduped[len(deduped)-1]
+			if e == prev {
+				continue
+			}
+			if e.Offset < prev.End {
+				return nil, fmt.Errorf("overlapping fixes at bytes %d and %d; resolve one and re-run", prev.Offset, e.Offset)
+			}
+		}
+		deduped = append(deduped, e)
+	}
+
+	var out []byte
+	last := 0
+	for _, e := range deduped {
+		out = append(out, src[last:e.Offset]...)
+		out = append(out, e.NewText...)
+		last = e.End
+	}
+	out = append(out, src[last:]...)
+	return out, nil
+}

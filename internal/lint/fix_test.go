@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestApplyEditsSplices(t *testing.T) {
+	src := []byte("aaa bbb ccc")
+	out, err := applyEdits(src, []TextEdit{
+		{Offset: 4, End: 7, NewText: "BBB"},
+		{Offset: 0, End: 3, NewText: "A"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(out), "A BBB ccc"; got != want {
+		t.Errorf("spliced %q, want %q", got, want)
+	}
+}
+
+func TestApplyEditsCollapsesDuplicates(t *testing.T) {
+	// The same diagnostic reached along two paths carries the same edit
+	// twice; it must apply once, not twice.
+	src := []byte("x = 1")
+	e := TextEdit{Offset: 0, End: 1, NewText: "y"}
+	out, err := applyEdits(src, []TextEdit{e, e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(out), "y = 1"; got != want {
+		t.Errorf("spliced %q, want %q", got, want)
+	}
+}
+
+func TestApplyEditsRejectsOverlap(t *testing.T) {
+	src := []byte("0123456789")
+	_, err := applyEdits(src, []TextEdit{
+		{Offset: 0, End: 5, NewText: "a"},
+		{Offset: 3, End: 8, NewText: "b"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "overlapping fixes") {
+		t.Errorf("want overlapping-fixes error, got %v", err)
+	}
+}
+
+func TestApplyEditsRejectsOutOfRange(t *testing.T) {
+	src := []byte("short")
+	_, err := applyEdits(src, []TextEdit{{Offset: 2, End: 99, NewText: ""}})
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("want out-of-bounds error, got %v", err)
+	}
+}
+
+// TestApplyFixesRoundTrip drives the disk path: a diagnostic's fix is
+// applied in place, the changed file is reported base-relative, and
+// diagnostics without fixes are left alone.
+func TestApplyFixesRoundTrip(t *testing.T) {
+	base := t.TempDir()
+	path := filepath.Join(base, "a.go")
+	if err := os.WriteFile(path, []byte("count = count + 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{Check: "demo", File: "a.go", Line: 1, Message: "no fix attached"},
+		{Check: "demo", File: "a.go", Line: 1, Message: "rewrite", Fix: &SuggestedFix{
+			Message: "use Add",
+			Edits:   []TextEdit{{File: "a.go", Offset: 0, End: 17, NewText: "add(&count, 1)"}},
+		}},
+	}
+	changed, err := ApplyFixes(base, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != "a.go" {
+		t.Fatalf("changed = %v, want [a.go]", changed)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(out), "add(&count, 1)\n"; got != want {
+		t.Errorf("file after fixes = %q, want %q", got, want)
+	}
+}

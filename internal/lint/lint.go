@@ -9,16 +9,19 @@
 // invariants; cmd/wscachelint is the driver that `make lint` and CI
 // run over ./...
 //
-// Model: a Package is one type-checked package (non-test files only); an
-// Analyzer inspects one Package through a Pass and reports Diagnostics.
-// Diagnostics carry file:line:col positions, are sorted and
-// deduplicated, and serialize to a stable JSON array for tooling.
-// Individual findings are silenced in source with
+// Model: a Package is one type-checked package, _test.go files
+// included; an Analyzer inspects one Package through a Pass and
+// reports Diagnostics. Packages are analyzed in parallel by a bounded
+// worker pool; Diagnostics carry file:line:col positions, optional
+// machine-applicable SuggestedFixes, are sorted and deduplicated, and
+// serialize to a stable JSON array for tooling. Individual findings
+// are silenced in source with
 //
 //	//lint:ignore <check> <reason>
 //
 // placed on the offending line or on the line directly above it. The
-// reason is mandatory: a suppression without one is itself reported.
+// reason is mandatory: a suppression without one is itself reported,
+// as is a suppression naming a check the run does not know.
 package lint
 
 import (
@@ -27,8 +30,10 @@ import (
 	"go/token"
 	"go/types"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, positioned for editors and stable for
@@ -40,11 +45,32 @@ type Diagnostic struct {
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Message string `json:"message"`
+	// Fix, when non-nil, is a machine-applicable edit that resolves
+	// the finding (applied by wscachelint -fix).
+	Fix *SuggestedFix `json:"fix,omitempty"`
 }
 
 // String renders the conventional file:line:col form.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// SuggestedFix is one way to resolve a diagnostic: a short description
+// and the text edits that implement it. Edits within one fix must not
+// overlap.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// TextEdit replaces the half-open byte range [Offset, End) of File
+// with NewText. File uses the same base-relative slash-separated form
+// as Diagnostic.File.
+type TextEdit struct {
+	File    string `json:"file"`
+	Offset  int    `json:"offset"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
 }
 
 // Analyzer is one named check. Run inspects the Pass's package and
@@ -68,6 +94,12 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfFix(pos, nil, format, args...)
+}
+
+// ReportfFix records a finding at pos carrying an optional suggested
+// fix (nil for none).
+func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	*p.diags = append(*p.diags, Diagnostic{
 		Check:   p.Analyzer.Name,
@@ -75,32 +107,74 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Line:    position.Line,
 		Col:     position.Column,
 		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
 	})
 }
 
-// Run executes the analyzers over the packages, applies //lint:ignore
-// suppressions, and returns the surviving diagnostics sorted by file,
-// line, column, check, and message, with file paths relative to base.
-// Malformed suppression comments are reported under the "lint" check.
-func Run(base string, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var all []Diagnostic
-	for _, pkg := range pkgs {
-		supp, malformed := collectSuppressions(pkg)
-		all = append(all, malformed...)
+// Replace builds the TextEdit that substitutes newText for the source
+// range [pos, end), for use in a SuggestedFix.
+func (p *Pass) Replace(pos, end token.Pos, newText string) TextEdit {
+	from := p.Pkg.Fset.Position(pos)
+	to := p.Pkg.Fset.Position(end)
+	return TextEdit{
+		File:    from.Filename,
+		Offset:  from.Offset,
+		End:     to.Offset,
+		NewText: newText,
+	}
+}
 
-		var diags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
-			a.Run(pass)
-		}
-		for _, d := range diags {
-			if !supp.suppressed(d) {
-				all = append(all, d)
-			}
-		}
+// Run executes the analyzers over the packages — in parallel, one
+// worker per CPU — applies //lint:ignore suppressions, and returns the
+// surviving diagnostics sorted by file, line, column, check, and
+// message, with file paths relative to base. Output is deterministic
+// regardless of scheduling. Malformed suppression comments are
+// reported under the "lint" check, as are suppressions naming a check
+// the run does not recognize; a caller running a subset of the suite
+// passes the full vocabulary via known so valid suppressions for
+// unselected checks are not flagged (nil defaults to the analyzers
+// run).
+func Run(base string, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunKnown(base, pkgs, analyzers, nil)
+}
+
+// RunKnown is Run with an explicit check-name vocabulary for
+// unknown-suppression reporting.
+func RunKnown(base string, pkgs []*Package, analyzers []*Analyzer, known []string) []Diagnostic {
+	names := make(map[string]bool, len(analyzers)+1)
+	names["lint"] = true
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	for _, n := range known {
+		names[n] = true
+	}
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perPkg[i] = runPackage(pkg, analyzers, names)
+		}(i, pkg)
+	}
+	wg.Wait()
+
+	var all []Diagnostic
+	for _, ds := range perPkg {
+		all = append(all, ds...)
 	}
 	for i := range all {
 		all[i].File = relPath(base, all[i].File)
+		if all[i].Fix != nil {
+			for j := range all[i].Fix.Edits {
+				all[i].Fix.Edits[j].File = relPath(base, all[i].Fix.Edits[j].File)
+			}
+		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -121,6 +195,32 @@ func Run(base string, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return dedupe(all)
 }
 
+// runPackage runs every analyzer over one package and applies its
+// suppressions — the unit of parallelism.
+func runPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) []Diagnostic {
+	supp, directives, all := collectSuppressions(pkg)
+	for _, dir := range directives {
+		if !known[dir.check] {
+			all = append(all, Diagnostic{
+				Check: "lint", File: dir.file, Line: dir.line, Col: dir.col,
+				Message: fmt.Sprintf("//lint:ignore names unknown check %q; the suppression can never match a finding", dir.check),
+			})
+		}
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		a.Run(pass)
+	}
+	for _, d := range diags {
+		if !supp.suppressed(d) {
+			all = append(all, d)
+		}
+	}
+	return all
+}
+
 // relPath relativizes file against base when possible, always with
 // forward slashes, so output is stable across checkouts.
 func relPath(base, file string) string {
@@ -132,16 +232,25 @@ func relPath(base, file string) string {
 	return filepath.ToSlash(file)
 }
 
-// dedupe drops exact duplicates from a sorted slice (one analyzer can
-// legitimately reach the same finding along two paths).
+// dedupe drops duplicates from a sorted slice (one analyzer can
+// legitimately reach the same finding along two paths). Two
+// diagnostics are duplicates when their positional fields and message
+// agree; fixes are not compared, and the first (which sorts with its
+// fix, if any) wins.
 func dedupe(ds []Diagnostic) []Diagnostic {
 	out := ds[:0]
 	for i, d := range ds {
-		if i == 0 || d != ds[i-1] {
+		if i == 0 || !sameFinding(d, ds[i-1]) {
 			out = append(out, d)
 		}
 	}
 	return out
+}
+
+// sameFinding reports positional-and-message equality.
+func sameFinding(a, b Diagnostic) bool {
+	return a.Check == b.Check && a.File == b.File && a.Line == b.Line &&
+		a.Col == b.Col && a.Message == b.Message
 }
 
 // IgnorePrefix is the magic comment prefix for suppressions.
@@ -173,11 +282,23 @@ func (s *suppressions) add(check, file string, line int) {
 	s.lines[check][suppKey{file, line + 1}] = true
 }
 
+// directive is one well-formed //lint:ignore comment, kept for
+// unknown-check reporting.
+type directive struct {
+	check string
+	file  string
+	line  int
+	col   int
+}
+
 // collectSuppressions scans every comment in the package for
 // //lint:ignore directives. Malformed directives (missing check name or
-// reason) are returned as diagnostics so they cannot silently rot.
-func collectSuppressions(pkg *Package) (*suppressions, []Diagnostic) {
+// reason) are returned as diagnostics so they cannot silently rot;
+// well-formed ones are returned both indexed for matching and as a
+// list for unknown-check validation.
+func collectSuppressions(pkg *Package) (*suppressions, []directive, []Diagnostic) {
 	supp := &suppressions{lines: make(map[string]map[suppKey]bool)}
+	var directives []directive
 	var malformed []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -196,10 +317,13 @@ func collectSuppressions(pkg *Package) (*suppressions, []Diagnostic) {
 					continue
 				}
 				supp.add(fields[0], pos.Filename, pos.Line)
+				directives = append(directives, directive{
+					check: fields[0], file: pos.Filename, line: pos.Line, col: pos.Column,
+				})
 			}
 		}
 	}
-	return supp, malformed
+	return supp, directives, malformed
 }
 
 // ExportedFrom reports whether obj is a function declared in the
@@ -239,6 +363,22 @@ func DocText(fn *ast.FuncDecl) string {
 func IsDeprecated(fn *ast.FuncDecl) bool {
 	for _, line := range strings.Split(DocText(fn), "\n") {
 		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether a function declaration's doc comment
+// contains the given //lint:<name> directive on a line of its own —
+// the annotation mechanism behind the hotpath analyzer.
+func HasDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	want := "lint:" + name
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == want {
 			return true
 		}
 	}

@@ -56,6 +56,105 @@ func TestSuppressions(t *testing.T) {
 	}
 }
 
+// TestUnknownCheckDirective covers the unknown fixture: a trailing
+// same-line suppression silences its own line, and a directive naming
+// a check outside the run's vocabulary is reported under "lint"
+// without silencing the finding beneath it.
+func TestUnknownCheckDirective(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/unknown")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := Run(".", pkgs, []*Analyzer{fixtureAnalyzer()})
+
+	var gotUnknown, gotSurvivor, gotTrailing bool
+	for _, d := range diags {
+		switch {
+		case d.Check == "lint" && strings.Contains(d.Message, `unknown check "nosuchcheck"`):
+			gotUnknown = true
+		case d.Check == "clockinject" && d.Line == 18:
+			// Phantom's time.Now: the nosuchcheck directive covers its
+			// line but names the wrong check, so the finding survives.
+			gotSurvivor = true
+		case d.Check == "clockinject" && d.Line == 10:
+			gotTrailing = true // Trailing's same-line directive failed
+		}
+	}
+	if !gotUnknown {
+		t.Errorf("missing unknown-check diagnostic; got %v", diags)
+	}
+	if !gotSurvivor {
+		t.Errorf("unknown-check directive must not suppress; got %v", diags)
+	}
+	if gotTrailing {
+		t.Errorf("trailing same-line //lint:ignore failed to suppress; got %v", diags)
+	}
+
+	// RunKnown with the extra vocabulary accepts the directive (a
+	// driver running -checks=subset still knows the full suite).
+	for _, d := range RunKnown(".", pkgs, []*Analyzer{fixtureAnalyzer()}, []string{"nosuchcheck"}) {
+		if d.Check == "lint" {
+			t.Errorf("known-vocabulary directive still reported: %v", d)
+		}
+	}
+}
+
+// TestLoadIncludesTestFiles pins test-aware loading: _test.go files
+// are part of the package Load returns, flagged by TestFile, and
+// analyzers see their contents.
+func TestLoadIncludesTestFiles(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/testaware")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	var sawTestFile bool
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				sawTestFile = true
+				if !pkg.TestFile(f) {
+					t.Errorf("TestFile(%s) = false, want true", name)
+				}
+			} else if pkg.TestFile(f) {
+				t.Errorf("TestFile(%s) = true, want false", name)
+			}
+		}
+	}
+	if !sawTestFile {
+		t.Fatal("Load returned no _test.go files; test-aware loading is broken")
+	}
+
+	var hit bool
+	for _, d := range Run(".", pkgs, []*Analyzer{fixtureAnalyzer()}) {
+		if strings.HasSuffix(d.File, "testaware_test.go") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Error("analyzer did not report the time.Now inside the _test.go file")
+	}
+}
+
+// TestRelPath pins the path normalization contract: base-relative with
+// forward slashes when the file is under base, untouched (but slashed)
+// otherwise.
+func TestRelPath(t *testing.T) {
+	cases := []struct {
+		base, file, want string
+	}{
+		{"/a/b", "/a/b/c/d.go", "c/d.go"},
+		{"/a/b", "/x/y.go", "/x/y.go"},
+		{"", "pkg/f.go", "pkg/f.go"},
+		{"/a/b", "/a/b/f.go", "f.go"},
+	}
+	for _, c := range cases {
+		if got := relPath(c.base, c.file); got != c.want {
+			t.Errorf("relPath(%q, %q) = %q, want %q", c.base, c.file, got, c.want)
+		}
+	}
+}
+
 // TestDiagnosticJSONShape pins the machine-readable output format that
 // CI and editors consume.
 func TestDiagnosticJSONShape(t *testing.T) {

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// SARIF renders diagnostics as a SARIF 2.1.0 log, the interchange
+// format GitHub code scanning ingests: one run, one rule per analyzer
+// (so findings group and link to the invariant's description), one
+// result per diagnostic, and suggested fixes carried as byte-offset
+// replacements. File URIs are the base-relative slash-separated paths
+// Run already produced, anchored at %SRCROOT% so the consumer resolves
+// them against the checkout.
+func SARIF(diags []Diagnostic, analyzers []*Analyzer) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	ruleIndex := make(map[string]bool)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+		ruleIndex[a.Name] = true
+	}
+	// The framework's own findings (malformed or unknown //lint:ignore
+	// directives) report under "lint"; give them a rule too so every
+	// result has one.
+	for _, d := range diags {
+		if !ruleIndex[d.Check] {
+			rules = append(rules, sarifRule{
+				ID:               d.Check,
+				ShortDescription: sarifText{Text: "lint framework diagnostics (suppression hygiene)"},
+			})
+			ruleIndex[d.Check] = true
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		r := sarifResult{
+			RuleID:  d.Check,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		}
+		if d.Fix != nil {
+			fix := sarifFix{Description: sarifText{Text: d.Fix.Message}}
+			byFile := make(map[string][]sarifReplacement)
+			var order []string
+			for _, e := range d.Fix.Edits {
+				if _, ok := byFile[e.File]; !ok {
+					order = append(order, e.File)
+				}
+				byFile[e.File] = append(byFile[e.File], sarifReplacement{
+					DeletedRegion:   sarifByteRegion{ByteOffset: e.Offset, ByteLength: e.End - e.Offset},
+					InsertedContent: &sarifContent{Text: e.NewText},
+				})
+			}
+			for _, file := range order {
+				fix.ArtifactChanges = append(fix.ArtifactChanges, sarifArtifactChange{
+					ArtifactLocation: sarifArtifactLocation{URI: file, URIBaseID: "%SRCROOT%"},
+					Replacements:     byFile[file],
+				})
+			}
+			r.Fixes = []sarifFix{fix}
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "wscachelint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// The subset of the SARIF 2.1.0 object model the driver emits.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifFix struct {
+	Description     sarifText             `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Replacements     []sarifReplacement    `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifByteRegion `json:"deletedRegion"`
+	InsertedContent *sarifContent   `json:"insertedContent,omitempty"`
+}
+
+type sarifByteRegion struct {
+	ByteOffset int `json:"byteOffset"`
+	ByteLength int `json:"byteLength"`
+}
+
+type sarifContent struct {
+	Text string `json:"text"`
+}

@@ -1,0 +1,6 @@
+// Package testaware is the fixture proving that _test.go files are
+// loaded, type-checked, and analyzed alongside the package proper.
+package testaware
+
+// Noop keeps the non-test half of the package non-empty.
+func Noop() {}

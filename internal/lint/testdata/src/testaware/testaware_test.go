@@ -1,0 +1,14 @@
+package testaware
+
+import (
+	"testing"
+	"time"
+)
+
+// TestUsesClock reads the wall clock from a test file; the framework
+// test asserts the stand-in analyzer still sees it.
+func TestUsesClock(t *testing.T) {
+	if time.Now().IsZero() {
+		t.Fatal("zero clock")
+	}
+}

@@ -1,0 +1,19 @@
+// Package unknown exercises trailing-comment suppressions and
+// directives naming checks the run does not recognize.
+package unknown
+
+import "time"
+
+// Trailing carries the directive on the offending line itself rather
+// than the line above.
+func Trailing() time.Time {
+	return time.Now() //lint:ignore clockinject fixture exercising a trailing suppression
+}
+
+// Phantom names a check that does not exist, so the directive can
+// never match a finding and must itself be reported — and it must not
+// silence the real finding underneath it.
+func Phantom() time.Time {
+	//lint:ignore nosuchcheck the check name is stale
+	return time.Now()
+}

@@ -72,8 +72,8 @@ func TestRunCountsAndThroughput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if calls != 200 || res.Requests != 200 {
-		t.Errorf("calls = %d, requests = %d", calls, res.Requests)
+	if atomic.LoadInt64(&calls) != 200 || res.Requests != 200 {
+		t.Errorf("calls = %d, requests = %d", atomic.LoadInt64(&calls), res.Requests)
 	}
 	if res.Throughput <= 0 || res.Elapsed <= 0 {
 		t.Errorf("throughput = %v, elapsed = %v", res.Throughput, res.Elapsed)
@@ -248,11 +248,11 @@ func TestRunMixedWrites(t *testing.T) {
 	if res.Requests != 200 {
 		t.Errorf("Requests = %d, want 200", res.Requests)
 	}
-	if res.Writes != 50 || writes != 50 {
-		t.Errorf("Writes = %d (func saw %d), want 50", res.Writes, writes)
+	if res.Writes != 50 || atomic.LoadInt64(&writes) != 50 {
+		t.Errorf("Writes = %d (func saw %d), want 50", res.Writes, atomic.LoadInt64(&writes))
 	}
-	if reads != 150 {
-		t.Errorf("reads = %d, want 150", reads)
+	if atomic.LoadInt64(&reads) != 150 {
+		t.Errorf("reads = %d, want 150", atomic.LoadInt64(&reads))
 	}
 	if !strings.Contains(res.String(), "50 writes") {
 		t.Errorf("String() = %q, missing write count", res.String())

@@ -38,12 +38,16 @@ type Counter struct {
 // the pick uses the bits at and above the minimum 8 KiB stack size.
 // A collision only costs the contended-add throughput of a plain
 // atomic; correctness never depends on the distribution.
+//
+//lint:hotpath
 func shardHint() uintptr {
 	var probe byte
 	return (uintptr(unsafe.Pointer(&probe)) >> 13) & (counterShards - 1)
 }
 
 // Add increments the counter by n.
+//
+//lint:hotpath
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return

@@ -49,6 +49,8 @@ type Histogram struct {
 }
 
 // Observe records one duration.
+//
+//lint:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return

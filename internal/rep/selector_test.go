@@ -41,6 +41,7 @@ func (s *costedStore) Store(ictx *client.Context) (any, int, error) {
 func (s *costedStore) Load(payload any) (any, error) {
 	s.loads++
 	s.clk.advance(s.loadCost)
+	//lint:ignore aliascopy cost-model probe: payloads are immutable strings, so aliasing cannot leak mutable cache state
 	return payload, nil
 }
 
@@ -151,6 +152,7 @@ func (s *classCostStore) Store(ictx *client.Context) (any, int, error) {
 
 func (s *classCostStore) Load(payload any) (any, error) {
 	s.clk.advance(s.loadCosts[payload.(string)])
+	//lint:ignore aliascopy cost-model probe: payloads are immutable strings, so aliasing cannot leak mutable cache state
 	return payload, nil
 }
 
