@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint lint-fix test race cover bench bench-rep bench-inval bench-all bench-smoke chaos tables figures fuzz generate clean
+.PHONY: all check build vet lint lint-fix test race cover bench bench-rep bench-inval bench-cluster bench-all bench-smoke chaos tables figures fuzz generate clean
 
 all: build vet lint test
 
@@ -72,6 +72,17 @@ bench-inval:
 	| $(GO) run ./cmd/benchjson -o BENCH_inval.json \
 	  -note "checked-in run: single-CPU container; HitInval adds the per-hit epoch-stamp check (two atomic loads) over HitSerial"
 	@cat BENCH_inval.json
+
+# Track the tier hierarchy: the same doGetItem served from the
+# process-local L1, from a shared wscached-style daemon over loopback
+# TCP (L2 hit), and by the HTTP origin, archived as BENCH_cluster.json.
+# The point of the shared tier is the middle row: an L2 hit must beat
+# the origin round trip or promotion is pure overhead.
+bench-cluster:
+	$(GO) test -run NONE -bench 'BenchmarkCluster' -benchmem ./ \
+	| $(GO) run ./cmd/benchjson -o BENCH_cluster.json \
+	  -note "checked-in run: single-CPU container; L1 = in-process hit, L2 = daemon hit over loopback TCP, Origin = full SOAP round trip over loopback HTTP"
+	@cat BENCH_cluster.json
 
 # The invalidation chaos harness under the race detector: mixed
 # read/write load, injected faults, lying 304 validator, sweep/Clear

@@ -44,7 +44,7 @@ func env(b *testing.B) *bench.Env {
 
 // --- Table 6: cache key generation -----------------------------------
 
-func benchKeyGen(b *testing.B, gen func(e *bench.Env) core.KeyGenerator) {
+func benchKeyGen(b *testing.B, gen func(e *bench.Env) rep.KeyGenerator) {
 	e := env(b)
 	g := gen(e)
 	for _, op := range e.Ops {
@@ -64,22 +64,22 @@ func benchKeyGen(b *testing.B, gen func(e *bench.Env) core.KeyGenerator) {
 }
 
 func BenchmarkTable6_KeyXMLMessage(b *testing.B) {
-	benchKeyGen(b, func(e *bench.Env) core.KeyGenerator { return core.NewXMLMessageKey(e.Codec) })
+	benchKeyGen(b, func(e *bench.Env) rep.KeyGenerator { return rep.NewXMLMessageKey(e.Codec) })
 }
 
 func BenchmarkTable6_KeyBinarySerialization(b *testing.B) {
-	benchKeyGen(b, func(e *bench.Env) core.KeyGenerator { return core.NewBinserKey(e.Reg) })
+	benchKeyGen(b, func(e *bench.Env) rep.KeyGenerator { return rep.NewBinserKey(e.Reg) })
 }
 
 func BenchmarkTable6_KeyStringConcat(b *testing.B) {
-	benchKeyGen(b, func(e *bench.Env) core.KeyGenerator { return core.NewStringKey() })
+	benchKeyGen(b, func(e *bench.Env) rep.KeyGenerator { return rep.NewStringKey() })
 }
 
 // --- Table 7: cached data retrieval -----------------------------------
 
 // benchStoreLoad measures ValueStore.Load per operation; inapplicable
 // combinations are skipped, mirroring the paper's n/a cells.
-func benchStoreLoad(b *testing.B, mk func(e *bench.Env) core.ValueStore, skip map[string]bool) {
+func benchStoreLoad(b *testing.B, mk func(e *bench.Env) rep.ValueStore, skip map[string]bool) {
 	e := env(b)
 	store := mk(e)
 	for _, op := range e.Ops {
@@ -106,36 +106,36 @@ func benchStoreLoad(b *testing.B, mk func(e *bench.Env) core.ValueStore, skip ma
 }
 
 func BenchmarkTable7_LoadXMLMessage(b *testing.B) {
-	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewXMLMessageStore(e.Codec) }, nil)
+	benchStoreLoad(b, func(e *bench.Env) rep.ValueStore { return rep.NewXMLMessageStore(e.Codec) }, nil)
 }
 
 func BenchmarkTable7_LoadSAXEvents(b *testing.B) {
-	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewSAXEventsStore(e.Codec) }, nil)
+	benchStoreLoad(b, func(e *bench.Env) rep.ValueStore { return rep.NewSAXEventsStore(e.Codec) }, nil)
 }
 
 func BenchmarkTable7_LoadBinarySerialization(b *testing.B) {
-	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewBinserStore(e.Reg) }, nil)
+	benchStoreLoad(b, func(e *bench.Env) rep.ValueStore { return rep.NewBinserStore(e.Reg) }, nil)
 }
 
 func BenchmarkTable7_LoadReflectCopy(b *testing.B) {
-	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewReflectCopyStore(e.Reg) },
+	benchStoreLoad(b, func(e *bench.Env) rep.ValueStore { return rep.NewReflectCopyStore(e.Reg) },
 		map[string]bool{googleapi.OpSpellingSuggestion: true})
 }
 
 func BenchmarkTable7_LoadCloneCopy(b *testing.B) {
-	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewCloneCopyStore() },
+	benchStoreLoad(b, func(e *bench.Env) rep.ValueStore { return rep.NewCloneCopyStore() },
 		map[string]bool{googleapi.OpSpellingSuggestion: true, googleapi.OpGetCachedPage: true})
 }
 
 func BenchmarkTable7_LoadPassByReference(b *testing.B) {
-	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewRefStore(e.Reg, true) }, nil)
+	benchStoreLoad(b, func(e *bench.Env) rep.ValueStore { return rep.NewRefStore(e.Reg, true) }, nil)
 }
 
 // BenchmarkTable7_LoadDOMTree is an extra row beyond the paper's six:
 // the DOM post-parsing representation Section 3.3 names alongside SAX
 // event sequences.
 func BenchmarkTable7_LoadDOMTree(b *testing.B) {
-	benchStoreLoad(b, func(e *bench.Env) core.ValueStore { return core.NewDOMStore(e.Codec) }, nil)
+	benchStoreLoad(b, func(e *bench.Env) rep.ValueStore { return rep.NewDOMStore(e.Codec) }, nil)
 }
 
 // --- Tables 8 and 9: memory sizes --------------------------------------
@@ -262,9 +262,9 @@ func BenchmarkPortalConcurrency(b *testing.B) {
 func BenchmarkAblationGobVsBinser(b *testing.B) {
 	e := env(b)
 	op, _ := e.Fixture(googleapi.OpGoogleSearch)
-	for _, mk := range []func() core.ValueStore{
-		func() core.ValueStore { return core.NewGobStore(e.Reg) },
-		func() core.ValueStore { return core.NewBinserStore(e.Reg) },
+	for _, mk := range []func() rep.ValueStore{
+		func() rep.ValueStore { return rep.NewGobStore(e.Reg) },
+		func() rep.ValueStore { return rep.NewBinserStore(e.Reg) },
 	} {
 		store := mk()
 		b.Run(store.Name(), func(b *testing.B) {
@@ -289,9 +289,9 @@ func BenchmarkAblationGobVsBinser(b *testing.B) {
 func BenchmarkAblationStoreCopy(b *testing.B) {
 	e := env(b)
 	op, _ := e.Fixture(googleapi.OpGoogleSearch)
-	stores := []core.ValueStore{
-		core.NewReflectCopyStore(e.Reg), // deep copy on store
-		core.NewRefStore(e.Reg, true),   // no copy on store
+	stores := []rep.ValueStore{
+		rep.NewReflectCopyStore(e.Reg), // deep copy on store
+		rep.NewRefStore(e.Reg, true),   // no copy on store
 	}
 	for _, store := range stores {
 		b.Run(store.Name(), func(b *testing.B) {
@@ -310,8 +310,8 @@ func BenchmarkAblationStoreCopy(b *testing.B) {
 func BenchmarkAblationAutoClassifier(b *testing.B) {
 	e := env(b)
 	op, _ := e.Fixture(googleapi.OpGoogleSearch)
-	static := core.NewCloneCopyStore() // what Auto picks for this type
-	auto := core.NewAutoStore(e.Reg, e.Codec)
+	static := rep.NewCloneCopyStore() // what Auto picks for this type
+	auto := rep.NewAutoStore(e.Reg, e.Codec)
 
 	b.Run("static clone", func(b *testing.B) {
 		payload, _, err := static.Store(op.Ctx)
@@ -406,10 +406,10 @@ func BenchmarkAblationEventRecordingTee(b *testing.B) {
 func BenchmarkAblationKeyLength(b *testing.B) {
 	e := env(b)
 	op, _ := e.Fixture(googleapi.OpGoogleSearch)
-	gens := []core.KeyGenerator{
-		core.NewXMLMessageKey(e.Codec),
-		core.NewBinserKey(e.Reg),
-		core.NewStringKey(),
+	gens := []rep.KeyGenerator{
+		rep.NewXMLMessageKey(e.Codec),
+		rep.NewBinserKey(e.Reg),
+		rep.NewStringKey(),
 	}
 	for _, g := range gens {
 		key, err := g.Key(op.Ctx)
@@ -477,9 +477,9 @@ func BenchmarkAblationScannerVsStdlib(b *testing.B) {
 func BenchmarkAblationEventArena(b *testing.B) {
 	e := env(b)
 	op, _ := e.Fixture(googleapi.OpGoogleSearch)
-	stores := []core.ValueStore{
-		core.NewSAXEventsStore(e.Codec),
-		core.NewCompactSAXStore(e.Codec),
+	stores := []rep.ValueStore{
+		rep.NewSAXEventsStore(e.Codec),
+		rep.NewCompactSAXStore(e.Codec),
 	}
 	for _, store := range stores {
 		b.Run(store.Name(), func(b *testing.B) {
@@ -516,8 +516,8 @@ func BenchmarkAblationEviction(b *testing.B) {
 				b.Fatal(err)
 			}
 			cache := core.MustNew(core.Config{
-				KeyGen:     core.NewStringKey(),
-				Store:      core.NewAutoStore(codec.Registry(), codec),
+				KeyGen:     rep.NewStringKey(),
+				Store:      rep.NewAutoStore(codec.Registry(), codec),
 				DefaultTTL: time.Hour,
 				MaxBytes:   tc.maxBytes,
 			})
@@ -574,8 +574,8 @@ func BenchmarkAblationServerVsClientCache(b *testing.B) {
 			b.Fatal(err)
 		}
 		cache := core.MustNew(core.Config{
-			KeyGen:     core.NewStringKey(),
-			Store:      core.NewAutoStore(codec.Registry(), codec),
+			KeyGen:     rep.NewStringKey(),
+			Store:      rep.NewAutoStore(codec.Registry(), codec),
 			DefaultTTL: time.Hour,
 		})
 		call := client.NewCall(codec, &transport.InProcess{Handler: disp},
@@ -599,8 +599,8 @@ func BenchmarkAblationServerVsClientCache(b *testing.B) {
 		}
 		cached := server.NewResponseCache(disp, server.ResponseCacheConfig{TTL: time.Hour})
 		cache := core.MustNew(core.Config{
-			KeyGen:     core.NewStringKey(),
-			Store:      core.NewAutoStore(codec.Registry(), codec),
+			KeyGen:     rep.NewStringKey(),
+			Store:      rep.NewAutoStore(codec.Registry(), codec),
 			DefaultTTL: time.Hour,
 		})
 		call := client.NewCall(codec, &transport.InProcess{Handler: cached},
@@ -634,8 +634,8 @@ func BenchmarkAblationRevalidation(b *testing.B) {
 		nowSec := new(int64)
 		atomic.StoreInt64(nowSec, time.Now().Unix())
 		cache := core.MustNew(core.Config{
-			KeyGen:     core.NewStringKey(),
-			Store:      core.NewAutoStore(codec.Registry(), codec),
+			KeyGen:     rep.NewStringKey(),
+			Store:      rep.NewAutoStore(codec.Registry(), codec),
 			DefaultTTL: time.Minute,
 			Revalidate: revalidate,
 			Clock:      func() time.Time { return time.Unix(atomic.LoadInt64(nowSec), 0) },
@@ -682,8 +682,8 @@ func BenchmarkEndToEnd(b *testing.B) {
 		var handlers []client.Handler
 		if withCache {
 			handlers = append(handlers, core.MustNew(core.Config{
-				KeyGen:     core.NewStringKey(),
-				Store:      core.NewAutoStore(codec.Registry(), codec),
+				KeyGen:     rep.NewStringKey(),
+				Store:      rep.NewAutoStore(codec.Registry(), codec),
 				DefaultTTL: time.Hour,
 			}))
 		}
@@ -734,13 +734,13 @@ func repHitCall(tb testing.TB, adaptive bool) *client.Call {
 		tb.Fatal(err)
 	}
 	cfg := core.Config{
-		KeyGen:     core.NewStringKey(),
+		KeyGen:     rep.NewStringKey(),
 		DefaultTTL: time.Hour,
 	}
 	if adaptive {
 		cfg.Rep = rep.NewRegistry(codec.Registry(), codec) // Store nil: core's default selector
 	} else {
-		cfg.Store = core.NewAutoStore(codec.Registry(), codec)
+		cfg.Store = rep.NewAutoStore(codec.Registry(), codec)
 	}
 	cache := core.MustNew(cfg)
 	return client.NewCall(codec, &transport.InProcess{Handler: disp},
@@ -840,8 +840,8 @@ func BenchmarkObsOverhead(b *testing.B) {
 			return nil, err
 		}
 		cache := core.MustNew(core.Config{
-			KeyGen:     core.NewStringKey(),
-			Store:      core.NewAutoStore(codec.Registry(), codec),
+			KeyGen:     rep.NewStringKey(),
+			Store:      rep.NewAutoStore(codec.Registry(), codec),
 			DefaultTTL: time.Hour,
 			Obs:        reg,
 			Tracer:     tracer,

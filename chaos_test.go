@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"repro/internal/rep"
 	"strconv"
 	"strings"
 	"sync"
@@ -60,8 +61,8 @@ func newChaosHarness(t *testing.T, fcfg faultify.Config, ttl, staleIfError time.
 	fault := faultify.New(&transport.InProcess{Handler: disp}, fcfg)
 	reg := obs.NewRegistry()
 	cache := core.MustNew(core.Config{
-		KeyGen:       core.NewStringKey(),
-		Store:        core.NewAutoStore(codec.Registry(), codec),
+		KeyGen:       rep.NewStringKey(),
+		Store:        rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL:   ttl,
 		StaleIfError: staleIfError,
 		Revalidate:   true,

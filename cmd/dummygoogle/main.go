@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/googleapi"
 	"repro/internal/rep"
 	"repro/internal/server"
@@ -43,6 +44,17 @@ func main() {
 func run(addr string, fixed bool, ttl time.Duration, useCache bool, cacheRep string) error {
 	if useCache && fixed {
 		return fmt.Errorf("-cache has no effect with -fixed (responses are already precomputed)")
+	}
+	// The flag surface overlaps core.Config's, so validate through it:
+	// a bad -ttl fails at startup with the same message a programmatic
+	// misuse of the cache would get.
+	probe := core.Config{
+		KeyGen:     rep.NewStringKey(),
+		Store:      rep.NewCloneCopyStore(),
+		DefaultTTL: ttl,
+	}
+	if err := probe.Validate(); err != nil {
+		return err
 	}
 	var soapHandler http.Handler
 	if fixed {

@@ -25,11 +25,14 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/googleapi"
+	"repro/internal/invalidate"
 	"repro/internal/obs"
 	"repro/internal/rep"
 	"repro/internal/soap"
+	"repro/internal/tier"
 	"repro/internal/transport"
 	"repro/internal/typemap"
 	"repro/internal/wsdl"
@@ -40,6 +43,7 @@ func main() {
 	wsdlSrc := flag.String("wsdl", "google", `WSDL source: "google" (embedded) or a file path`)
 	endpoint := flag.String("endpoint", "", "endpoint override (default: the WSDL's soap:address)")
 	useCache := flag.Bool("cache", false, "enable the client response cache")
+	l2 := flag.String("l2", "", "comma-separated wscached addresses for a shared L2 tier (implies -cache)")
 	repName := flag.String("rep", "adaptive", `cache value representation: a registry name (sax, dom, gob, ...), "auto" (static classifier), or "adaptive" (measured-cost selector)`)
 	repeat := flag.Int("repeat", 1, "invoke the operation this many times")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-call timeout")
@@ -58,7 +62,8 @@ func main() {
 		endpoint:  *endpoint,
 		operation: flag.Arg(0),
 		args:      flag.Args()[1:],
-		useCache:  *useCache,
+		useCache:  *useCache || *l2 != "",
+		l2:        *l2,
 		rep:       *repName,
 		repeat:    *repeat,
 		timeout:   *timeout,
@@ -79,6 +84,7 @@ type runConfig struct {
 	operation string
 	args      []string
 	useCache  bool
+	l2        string
 	rep       string
 	repeat    int
 	timeout   time.Duration
@@ -120,6 +126,7 @@ func run(cfg runConfig) error {
 
 	var handlers []client.Handler
 	var cache *core.Cache
+	var remote *cluster.Remote
 	if useCache {
 		reps := rep.NewRegistry(reg, codec)
 		coreCfg := core.Config{
@@ -129,18 +136,41 @@ func run(cfg runConfig) error {
 		}
 		// "adaptive" rides core's default selector (which sizes its cost
 		// model to the cache's byte budget); anything else resolves
-		// through the registry.
-		if strings.EqualFold(cfg.rep, "adaptive") {
-			coreCfg.Rep = reps
-		} else {
+		// through the registry. The registry is kept as coreCfg.Rep
+		// either way: a tier stack needs a wire-capable selector even
+		// when the L1 representation is pinned by -rep.
+		coreCfg.Rep = reps
+		if !strings.EqualFold(cfg.rep, "adaptive") {
 			store, err := reps.Store(cfg.rep)
 			if err != nil {
 				return err
 			}
 			coreCfg.Store = store
 		}
+		if cfg.l2 != "" {
+			// The invalidator is what carries epoch bumps between this
+			// process's L1 and the shared daemon; without one the tier
+			// still works, TTL-only.
+			inv := invalidate.New(nil, obsReg)
+			coreCfg.Invalidator = inv
+			remote, err = cluster.New(cluster.Config{
+				Addrs:       strings.Split(cfg.l2, ","),
+				Inv:         inv,
+				BaseContext: context.Background(),
+			})
+			if err != nil {
+				return err
+			}
+			coreCfg.Tiers = []tier.Tier{remote}
+		}
+		if err := coreCfg.Validate(); err != nil {
+			return err
+		}
 		cache = core.MustNew(coreCfg)
 		handlers = append(handlers, cache)
+	}
+	if remote != nil {
+		defer remote.Close()
 	}
 
 	opts := client.Options{RecordEvents: true, Handlers: handlers, Obs: obsReg}

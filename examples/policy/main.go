@@ -18,6 +18,7 @@ import (
 	"repro/internal/amazonapi"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/rep"
 	"repro/internal/server"
 	"repro/internal/soap"
 	"repro/internal/transport"
@@ -65,8 +66,8 @@ func run() error {
 		len(policy.CacheableOps()), len(policy.UncacheableOps()))
 
 	cache := core.MustNew(core.Config{
-		KeyGen: core.NewStringKey(),
-		Store:  core.NewAutoStore(reg, codec),
+		KeyGen: rep.NewStringKey(),
+		Store:  rep.NewAutoStore(reg, codec),
 		Policy: policy,
 	})
 	tr := &transport.InProcess{Handler: disp}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/obs"
 	"repro/internal/portal"
+	"repro/internal/rep"
 	"repro/internal/soap"
 	"repro/internal/transport"
 )
@@ -49,8 +50,8 @@ func run(ctx context.Context, addr string) error {
 	// tells the whole story.
 	reg := obs.NewRegistry()
 	cache := core.MustNew(core.Config{
-		KeyGen:     core.NewStringKey(),
-		Store:      core.NewAutoStore(codec.Registry(), codec),
+		KeyGen:     rep.NewStringKey(),
+		Store:      rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL: time.Hour,
 		MaxEntries: 10_000,
 		Obs:        reg,

@@ -18,6 +18,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/googleapi"
+	"repro/internal/rep"
 	"repro/internal/transport"
 )
 
@@ -38,8 +39,8 @@ func run() error {
 	// The paper's contribution: a response cache selecting the optimal
 	// value representation per result type at run time (Section 6).
 	cache := core.MustNew(core.Config{
-		KeyGen:     core.NewStringKey(), // toString-analog keys (Table 6 winner)
-		Store:      core.NewAutoStore(codec.Registry(), codec),
+		KeyGen:     rep.NewStringKey(), // toString-analog keys (Table 6 winner)
+		Store:      rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL: time.Hour, // "one hour is short enough" for these ops
 	})
 

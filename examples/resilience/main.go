@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultify"
 	"repro/internal/googleapi"
+	"repro/internal/rep"
 	"repro/internal/transport"
 )
 
@@ -52,8 +53,8 @@ func run() error {
 	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
 
 	cache := core.MustNew(core.Config{
-		KeyGen:       core.NewStringKey(),
-		Store:        core.NewAutoStore(codec.Registry(), codec),
+		KeyGen:       rep.NewStringKey(),
+		Store:        rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL:   time.Minute,
 		StaleIfError: time.Hour, // degraded window: expired entries still usable
 		Coalesce:     true,      // concurrent misses share one backend call

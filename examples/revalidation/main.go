@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/googleapi"
 	"repro/internal/invalidate"
+	"repro/internal/rep"
 	"repro/internal/transport"
 )
 
@@ -53,8 +54,8 @@ func run() error {
 	// paper's search operations declare nothing and stay on the 304
 	// fallback below.
 	cache := core.MustNew(core.Config{
-		KeyGen:         core.NewStringKey(),
-		Store:          core.NewAutoStore(codec.Registry(), codec),
+		KeyGen:         rep.NewStringKey(),
+		Store:          rep.NewAutoStore(codec.Registry(), codec),
 		Revalidate:     true, // keep stale entries, send conditional requests
 		HonorServerTTL: true, // the server's max-age drives expiry
 		Clock:          clock,

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"repro/internal/rep"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -46,8 +47,8 @@ func TestIntegrationHTTPCachingClient(t *testing.T) {
 	defer srv.Close()
 
 	cache := core.MustNew(core.Config{
-		KeyGen:     core.NewStringKey(),
-		Store:      core.NewAutoStore(codec.Registry(), codec),
+		KeyGen:     rep.NewStringKey(),
+		Store:      rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL: time.Hour,
 	})
 	call := client.NewCall(codec, &transport.HTTP{}, srv.URL, googleapi.Namespace,
@@ -89,8 +90,8 @@ func TestIntegrationHTTPRevalidation(t *testing.T) {
 	nowSec := new(int64)
 	atomic.StoreInt64(nowSec, time.Now().Unix())
 	cache := core.MustNew(core.Config{
-		KeyGen:     core.NewStringKey(),
-		Store:      core.NewAutoStore(codec.Registry(), codec),
+		KeyGen:     rep.NewStringKey(),
+		Store:      rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL: time.Minute,
 		Revalidate: true,
 		Clock:      func() time.Time { return time.Unix(atomic.LoadInt64(nowSec), 0) },

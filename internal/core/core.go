@@ -49,6 +49,7 @@ import (
 	"repro/internal/invalidate"
 	"repro/internal/obs"
 	"repro/internal/rep"
+	"repro/internal/tier"
 	"repro/internal/transport"
 )
 
@@ -57,12 +58,12 @@ type Config struct {
 	// KeyGen generates cache keys; required. Generators that also
 	// implement KeyAppender let the cache hash the key from a pooled
 	// scratch buffer without materializing a key string per lookup.
-	KeyGen KeyGenerator
+	KeyGen rep.KeyGenerator
 	// Store is the default value representation. When nil, Rep must be
 	// set and the cache builds a rep.AdaptiveSelector over it — the
 	// measured-cost selector with the static Section 6 classifier as
 	// prior — sized to the per-shard slice of MaxBytes.
-	Store ValueStore
+	Store rep.ValueStore
 	// Rep is the representation registry backing the default adaptive
 	// selector when Store is nil. Ignored when Store is set.
 	Rep *rep.Registry
@@ -134,6 +135,15 @@ type Config struct {
 	// stage, for log/trace integration. nil disables tracing and costs
 	// nothing on the hot path.
 	Tracer obs.Tracer
+	// Tiers are remote cache tiers consulted, in order, between an L1
+	// miss and the backend invocation (DESIGN.md §5h) — typically one
+	// cluster.Remote pointing at shared wscached daemons. Tier entries
+	// travel in a wire-capable representation chosen per fill, so
+	// configuring tiers requires Rep (or a Store implementing
+	// rep.WireSelector). Tier failures degrade to ordinary misses. All
+	// processes sharing a tier must use the same KeyGen strategy: the
+	// cross-process tier key is derived from the generated key bytes.
+	Tiers []tier.Tier
 }
 
 // Stats are cumulative cache counters, read from the cache's metrics
@@ -152,6 +162,8 @@ type Stats struct {
 	Coalesced     int64 // misses satisfied by another in-flight invocation
 	Errors        int64 // store/load failures that fell back to the pivot
 	Bypass        int64 // invocations of uncacheable operations
+	TierHits      int64 // L1 misses served from a remote tier
+	TierErrors    int64 // remote tier failures degraded to misses
 	Bytes         int   // current estimated payload bytes
 	Entries       int   // current entry count
 }
@@ -202,7 +214,7 @@ type entry struct {
 	payload any
 	size    int
 	expires time.Time // zero means never
-	store   ValueStore
+	store   rep.ValueStore
 	// ttl is the lifetime the entry was stored with, reused when a 304
 	// refresh arrives without fresh server lifetime headers.
 	ttl time.Duration
@@ -257,9 +269,9 @@ type shard struct {
 
 // Cache is the response cache. It implements client.Handler.
 type Cache struct {
-	keygen         KeyGenerator
-	keyapp         KeyAppender // non-nil when keygen supports append-style keys
-	store          ValueStore
+	keygen         rep.KeyGenerator
+	keyapp         rep.KeyAppender // non-nil when keygen supports append-style keys
+	store          rep.ValueStore
 	policy         Policy
 	defaultTTL     time.Duration
 	maxEntries     int
@@ -270,6 +282,13 @@ type Cache struct {
 	coalesce       bool
 	inval          *invalidate.Invalidator
 	now            func() time.Time
+
+	// tiers is the remote tier stack (Config.Tiers), wire the selector
+	// encoding/decoding entries for it, tierm the per-tier counters
+	// parallel to tiers.
+	tiers []tier.Tier
+	wire  rep.WireSelector
+	tierm []tierCounters
 
 	// seed1/seed2 are the per-cache maphash seeds behind keyDigest;
 	// shardMask selects a shard from a digest's low word.
@@ -303,6 +322,9 @@ type cacheCounters struct {
 	coalesced     *obs.Counter
 	errors        *obs.Counter
 	bypass        *obs.Counter
+	tierHits      *obs.Counter
+	tierErrors    *obs.Counter
+	tierRefused   *obs.Counter
 }
 
 // newCacheCounters resolves the Stats counters in reg.
@@ -320,6 +342,9 @@ func newCacheCounters(reg *obs.Registry) cacheCounters {
 		coalesced:     reg.Counter("core.coalesced"),
 		errors:        reg.Counter("core.errors"),
 		bypass:        reg.Counter("core.bypass"),
+		tierHits:      reg.Counter("core.tier_hits"),
+		tierErrors:    reg.Counter("core.tier_errors"),
+		tierRefused:   reg.Counter("core.tier_put_refused"),
 	}
 }
 
@@ -383,16 +408,13 @@ func sliceBudget(total, n, i int) int {
 
 // New builds a Cache from cfg.
 func New(cfg Config) (*Cache, error) {
-	if cfg.KeyGen == nil {
-		return nil, fmt.Errorf("core: Config.KeyGen is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	now := clock.Or(cfg.Clock)
 	reg := obs.Or(cfg.Obs)
 	nsh := shardCount(cfg)
 	if cfg.Store == nil {
-		if cfg.Rep == nil {
-			return nil, fmt.Errorf("core: Config.Store is required (or set Config.Rep for the adaptive default)")
-		}
 		sel, err := rep.NewAdaptiveSelector(rep.SelectorConfig{
 			Registry: cfg.Rep,
 			// Score payload size against one shard's slice of the byte
@@ -429,8 +451,34 @@ func New(cfg Config) (*Cache, error) {
 		tracer:         cfg.Tracer,
 		timed:          cfg.Obs != nil || cfg.Tracer != nil,
 	}
-	if ka, ok := cfg.KeyGen.(KeyAppender); ok {
+	if ka, ok := cfg.KeyGen.(rep.KeyAppender); ok {
 		c.keyapp = ka
+	}
+	if len(cfg.Tiers) > 0 {
+		c.tiers = cfg.Tiers
+		c.wire = resolveWire(cfg.Store, cfg.Rep)
+		c.tierm = make([]tierCounters, len(cfg.Tiers))
+		tiers := cfg.Tiers
+		tierm := c.tierm
+		reg.SetInspection("tiers", func() any {
+			type tierView struct {
+				Remote tier.Stats // the tier's own view (traffic, capacity)
+				Local  tier.Stats // this cache's view of it (hits, misses, errors, stores)
+			}
+			out := make(map[string]tierView, len(tiers))
+			for i, t := range tiers {
+				out[t.Name()] = tierView{
+					Remote: t.TierStats(),
+					Local: tier.Stats{
+						Hits:   int64(tierm[i].hits.Load()),
+						Misses: int64(tierm[i].misses.Load()),
+						Errors: int64(tierm[i].errors.Load()),
+						Stores: int64(tierm[i].stores.Load()),
+					},
+				}
+			}
+			return out
+		})
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -517,6 +565,8 @@ func (c *Cache) Stats() Stats {
 		Coalesced:     c.m.coalesced.Load(),
 		Errors:        c.m.errors.Load(),
 		Bypass:        c.m.bypass.Load(),
+		TierHits:      c.m.tierHits.Load(),
+		TierErrors:    c.m.tierErrors.Load(),
 	}
 	for i := range c.shards {
 		s.Bytes += int(c.shards[i].nbytes.Load())
@@ -627,12 +677,38 @@ func (c *Cache) HandleInvoke(ictx *client.Context, next client.Invoker) error {
 // setup, the invocation itself, stale-on-error degradation, 304
 // refresh, and the fill.
 func (c *Cache) invokeMiss(d keyDigest, op OperationPolicy, ictx *client.Context, next client.Invoker) error {
+	// Remote tiers sit between the L1 miss and the origin: another
+	// process may already have paid the backend round trip and the
+	// response processing for this exact request. The tier key is
+	// derived lazily — only misses need the cross-process form.
+	var tk tier.Key
+	haveTiers := len(c.tiers) > 0
+	if haveTiers {
+		k, err := c.tierKeyFor(ictx)
+		if err != nil {
+			haveTiers = false
+		} else {
+			tk = k
+			if result, ok := c.tierServe(d, tk, ictx); ok {
+				ictx.Result = result
+				ictx.CacheHit = true
+				return nil
+			}
+		}
+	}
+
 	// Dependency stamps are snapshotted BEFORE the backend read: a
 	// declared write racing this invocation bumps its epochs after its
 	// backend write completes, so whichever data the backend serves us,
 	// the filled entry is stamped pre-write and a later hit re-checks it
 	// against the advanced epoch. Conservative misses, never stale hits.
+	// The per-tier snapshot (the daemon epochs this process has
+	// mirrored) obeys the same ordering for the same reason.
 	stamps := c.readStamps(ictx)
+	var tstamps [][]tier.Stamp
+	if haveTiers {
+		tstamps = c.tierStamps(tk, ictx)
+	}
 
 	// A stale entry with a validator turns this miss into a conditional
 	// request (If-Modified-Since): the server may answer 304 instead of
@@ -671,6 +747,9 @@ func (c *Cache) invokeMiss(d keyDigest, op OperationPolicy, ictx *client.Context
 		ictx.RequestHeader.Del("If-Modified-Since")
 		ictx.NotModified = false
 		stamps = c.readStamps(ictx)
+		if haveTiers {
+			tstamps = c.tierStamps(tk, ictx)
+		}
 		err = c.invokeTimed(ictx, next)
 		c.commitWrite(ictx, err)
 		if err != nil {
@@ -682,6 +761,9 @@ func (c *Cache) invokeMiss(d keyDigest, op OperationPolicy, ictx *client.Context
 	}
 
 	c.fill(d, op, ictx, stamps)
+	if haveTiers {
+		c.tierFill(tk, op, ictx, tstamps)
+	}
 	return nil
 }
 
@@ -771,7 +853,7 @@ func (c *Cache) refreshStale(d keyDigest, op OperationPolicy, ictx *client.Conte
 // and counting a per-representation hit (serve) or error.
 //
 //lint:hotpath
-func (c *Cache) loadPayload(op string, store ValueStore, payload any) (any, bool) {
+func (c *Cache) loadPayload(op string, store rep.ValueStore, payload any) (any, bool) {
 	var start time.Time
 	if c.timed {
 		start = c.now()

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"repro/internal/rep"
 	"sync"
 	"testing"
 
@@ -35,8 +36,8 @@ const benchKeys = 64
 func newHitBench(b testing.TB, mutate func(*Config)) (*Cache, []any) {
 	b.Helper()
 	cfg := Config{
-		KeyGen: NewStringKey(),
-		Store:  NewRefStore(nil, true),
+		KeyGen: rep.NewStringKey(),
+		Store:  rep.NewRefStore(nil, true),
 	}
 	if mutate != nil {
 		mutate(&cfg)

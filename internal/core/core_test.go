@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"repro/internal/rep"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -105,8 +106,8 @@ func countingNext(f *fixture, t *testing.T, result func() any) (client.Invoker, 
 func newCache(t *testing.T, f *fixture, mutate func(*Config)) *Cache {
 	t.Helper()
 	cfg := Config{
-		KeyGen: NewStringKey(),
-		Store:  NewReflectCopyStore(f.reg),
+		KeyGen: rep.NewStringKey(),
+		Store:  rep.NewReflectCopyStore(f.reg),
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -368,7 +369,7 @@ func TestEvictionByBytes(t *testing.T) {
 	c := newCache(t, f, func(cfg *Config) {
 		cfg.MaxBytes = 4096
 		cfg.Shards = 1 // one shard owns the whole byte budget
-		cfg.Store = NewXMLMessageStore(f.codec)
+		cfg.Store = rep.NewXMLMessageStore(f.codec)
 	})
 	big := make([]string, 40)
 	for i := range big {
@@ -432,7 +433,7 @@ func TestKeyGenFailureFailsOpen(t *testing.T) {
 
 func TestStoreFailureFailsOpen(t *testing.T) {
 	f := newFixture(t)
-	c := newCache(t, f, func(cfg *Config) { cfg.Store = NewCloneCopyStore() })
+	c := newCache(t, f, func(cfg *Config) { cfg.Store = rep.NewCloneCopyStore() })
 	next, _ := countingNext(f, t, func() any { return &item{} }) // item is not a Cloner
 
 	ictx := f.reqCtx(opGet, soap.Param{Name: "q", Value: "x"})
@@ -448,10 +449,10 @@ func TestStoreFailureFailsOpen(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(Config{Store: NewCloneCopyStore()}); err == nil {
+	if _, err := New(Config{Store: rep.NewCloneCopyStore()}); err == nil {
 		t.Error("missing KeyGen accepted")
 	}
-	if _, err := New(Config{KeyGen: NewStringKey()}); err == nil {
+	if _, err := New(Config{KeyGen: rep.NewStringKey()}); err == nil {
 		t.Error("missing Store accepted")
 	}
 }

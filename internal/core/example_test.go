@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"repro/internal/rep"
 	"time"
 
 	"repro/internal/client"
@@ -22,8 +23,8 @@ func Example() {
 	}
 
 	cache := core.MustNew(core.Config{
-		KeyGen:     core.NewStringKey(),
-		Store:      core.NewAutoStore(codec.Registry(), codec),
+		KeyGen:     rep.NewStringKey(),
+		Store:      rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL: time.Hour,
 	})
 
@@ -68,7 +69,7 @@ func ExampleAutoStore_Classify() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	auto := core.NewAutoStore(codec.Registry(), codec)
+	auto := rep.NewAutoStore(codec.Registry(), codec)
 
 	for _, result := range []any{
 		"a plain string",

@@ -3,6 +3,8 @@ package core
 import (
 	"sort"
 	"time"
+
+	"repro/internal/rep"
 )
 
 // OperationPolicy is the per-operation cache configuration an
@@ -21,7 +23,7 @@ type OperationPolicy struct {
 	// operation, allowing RefStore for mutable types.
 	ReadOnly bool
 	// Store overrides the cache's default value representation.
-	Store ValueStore
+	Store rep.ValueStore
 }
 
 // Policy maps operations to their cache configuration. The zero value

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"repro/internal/rep"
 	"testing"
 	"time"
 
@@ -37,8 +38,8 @@ func newRevalidationFixture(t *testing.T, cacheTTL time.Duration, honorServerTTL
 	clock := func() time.Time { return time.Unix(*nowSec, 0) }
 
 	cache := MustNew(Config{
-		KeyGen:         NewStringKey(),
-		Store:          NewAutoStore(codec.Registry(), codec),
+		KeyGen:         rep.NewStringKey(),
+		Store:          rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL:     cacheTTL,
 		Revalidate:     true,
 		HonorServerTTL: honorServerTTL,
@@ -154,8 +155,8 @@ func TestRevalidationDisabledDropsExpired(t *testing.T) {
 	nowSec := new(int64)
 	*nowSec = time.Now().Unix()
 	cache := MustNew(Config{
-		KeyGen:     NewStringKey(),
-		Store:      NewAutoStore(codec.Registry(), codec),
+		KeyGen:     rep.NewStringKey(),
+		Store:      rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL: time.Minute,
 		Clock:      func() time.Time { return time.Unix(*nowSec, 0) },
 	})
@@ -224,8 +225,8 @@ func TestConditionalRequestHeaderFormat(t *testing.T) {
 	nowSec := new(int64)
 	*nowSec = time.Now().Unix()
 	cache := MustNew(Config{
-		KeyGen:     NewStringKey(),
-		Store:      NewAutoStore(codec.Registry(), codec),
+		KeyGen:     rep.NewStringKey(),
+		Store:      rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL: time.Minute,
 		Revalidate: true,
 		Clock:      func() time.Time { return time.Unix(*nowSec, 0) },
@@ -277,8 +278,8 @@ func TestRevalidation304WithoutLifetimeHeaders(t *testing.T) {
 	nowSec := new(int64)
 	*nowSec = time.Now().Unix()
 	cache := MustNew(Config{
-		KeyGen:         NewStringKey(),
-		Store:          NewAutoStore(codec.Registry(), codec),
+		KeyGen:         rep.NewStringKey(),
+		Store:          rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL:     time.Minute,
 		Revalidate:     true,
 		HonorServerTTL: true,

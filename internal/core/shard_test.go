@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"repro/internal/rep"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -18,8 +19,8 @@ import (
 func newShardCache(t testing.TB, mutate func(*Config)) *Cache {
 	t.Helper()
 	cfg := Config{
-		KeyGen: NewStringKey(),
-		Store:  NewRefStore(nil, true),
+		KeyGen: rep.NewStringKey(),
+		Store:  rep.NewRefStore(nil, true),
 	}
 	if mutate != nil {
 		mutate(&cfg)

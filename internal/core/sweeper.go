@@ -27,15 +27,6 @@ type Sweeper struct {
 	done     chan struct{}
 }
 
-// NewSweeper starts a sweeper over cache. interval must be positive.
-//
-// Deprecated: NewSweeper pins the sweeper goroutine to
-// context.Background, detaching it from any server lifecycle. Use
-// NewSweeperContext so cancellation reaches the sweeper.
-func NewSweeper(cache *Cache, interval time.Duration) *Sweeper {
-	return NewSweeperContext(context.Background(), cache, interval)
-}
-
 // NewSweeperContext starts a sweeper whose goroutine also exits when
 // ctx is cancelled, for deployments that tie background work to a
 // server's lifecycle context. Shutdown remains available and is

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/invalidate"
+	"repro/internal/obs"
+	"repro/internal/rep"
+	"repro/internal/tier"
+)
+
+// This file is the cache's two tier roles (DESIGN.md §5h).
+//
+// Client side (Config.Tiers): between an L1 miss and the backend
+// invocation the cache consults remote tiers. A tier hit decodes the
+// wire representation, promotes the payload into L1, and serves it —
+// the response-processing cost is paid once per fleet instead of once
+// per process. A tier miss falls through to the origin, and the fill
+// then writes through to the tiers in the wire representation the
+// WireSelector picks (per-tier representation selection: L1 keeps the
+// full Table 3 menu, remote tiers get the byte-oriented subset).
+//
+// Server side: Cache itself implements tier.Tier, so a cluster.Server
+// can expose any ordinary cache as a shared daemon (cmd/wscached).
+// Entries arrive already encoded; the daemon stores the bytes, stamps
+// them against its own epoch table, and refuses fills whose stamps a
+// committed write has overtaken — born-stale entries never enter the
+// shared tier.
+
+// tierCounters are the per-tier traffic counters, exposed through the
+// "tiers" inspection alongside each tier's own TierStats. Plain
+// atomics rather than obs counters: a metric name would have to carry
+// the tier's runtime name, and obs registry names are compile-time
+// constants by convention.
+type tierCounters struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	errors atomic.Uint64
+	stores atomic.Uint64
+}
+
+// tierKeyFor computes the cross-process tier key for an invocation.
+// Unlike keyDigest (per-process maphash seeds), tier.KeyOf is a fixed
+// function of the key bytes, so every process sharing a daemon — and
+// the same KeyGen configuration — computes the same key.
+func (c *Cache) tierKeyFor(ictx *client.Context) (tier.Key, error) {
+	if c.keyapp != nil {
+		bp := keyBufPool.Get().(*[]byte)
+		b, err := c.keyapp.AppendKey((*bp)[:0], ictx)
+		if err != nil {
+			keyBufPool.Put(bp)
+			return tier.Key{}, err
+		}
+		k := tier.KeyOf(b)
+		*bp = b[:0]
+		keyBufPool.Put(bp)
+		return k, nil
+	}
+	key, err := c.keygen.Key(ictx)
+	if err != nil {
+		return tier.Key{}, err
+	}
+	return tier.KeyOf([]byte(key)), nil
+}
+
+// tierServe tries each remote tier in order. On a hit it decodes the
+// entry, promotes it into L1, and returns the materialized result. All
+// failures are soft: a broken tier behaves like a miss.
+//
+// The promotion stamps are snapshotted BEFORE the first tier contact —
+// the same snapshot-before-read ordering every fill path obeys. A
+// local write committing while the tier round trip is in flight bumps
+// its epochs past this snapshot, so the promoted entry is born stale
+// and the next lookup refetches; stamping after the Get instead would
+// mint fresh stamps onto a value the tier served before it learned of
+// that write. Conservative misses, never stale hits.
+func (c *Cache) tierServe(d keyDigest, tk tier.Key, ictx *client.Context) (any, bool) {
+	ctx := ictx.Ctx
+	stamps := c.readStamps(ictx)
+	for i := range c.tiers {
+		t := c.tiers[i]
+		start := c.now()
+		e, ok, err := t.Get(ctx, tk)
+		dur := c.now().Sub(start)
+		if c.timed {
+			c.observe(ictx.Operation, obs.StageTierGet, t.Name(), dur, err)
+		}
+		if err != nil {
+			c.m.tierErrors.Add(1)
+			c.tierm[i].errors.Add(1)
+			continue
+		}
+		if !ok {
+			c.tierm[i].misses.Add(1)
+			continue
+		}
+		// Feed the measured round trip into the wire cost model: the
+		// selector learns what a remote byte costs and biases future wire
+		// choices toward compact representations when the network is the
+		// bottleneck.
+		c.wire.ObserveNet(dur, len(e.Value))
+		payload, store, err := c.wire.LoadWire(e.Rep, e.Value)
+		if err != nil {
+			c.m.tierErrors.Add(1)
+			c.tierm[i].errors.Add(1)
+			continue
+		}
+		c.tierm[i].hits.Add(1)
+		c.m.tierHits.Add(1)
+		c.fillPromoted(d, payload, store, len(e.Value), e.TTL, stamps)
+		result, ok := c.loadPayload(ictx.Operation, store, payload)
+		if !ok {
+			c.m.tierErrors.Add(1)
+			continue
+		}
+		return result, true
+	}
+	return nil, false
+}
+
+// fillPromoted inserts a tier-served payload into L1, carrying the
+// tier entry's remaining TTL (zero = no expiry, matching the daemon).
+func (c *Cache) fillPromoted(d keyDigest, payload any, store rep.ValueStore, size int, ttl time.Duration, stamps []invalidate.Stamp) {
+	var expires time.Time
+	if ttl > 0 {
+		expires = c.now().Add(ttl)
+	}
+	sh := c.shard(d)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.table[d]; ok {
+		sh.removeLocked(old)
+	}
+	e := &entry{
+		digest: d, payload: payload, size: size,
+		expires: expires, store: store, ttl: ttl, stamps: stamps,
+	}
+	sh.table[d] = e
+	sh.pushFrontLocked(e)
+	sh.nbytes.Add(int64(size))
+	sh.nentries.Add(1)
+	c.m.stores.Add(1)
+	sh.evictLocked(c.m.evictions)
+}
+
+// tierStamps snapshots, per configured tier, the epochs that tier is
+// believed to hold for the invocation's read set. Like readStamps it
+// MUST run before the backend read: the snapshot is what makes a fill
+// racing a concurrent write refusable at the daemon.
+func (c *Cache) tierStamps(tk tier.Key, ictx *client.Context) [][]tier.Stamp {
+	if len(c.tiers) == 0 {
+		return nil
+	}
+	out := make([][]tier.Stamp, len(c.tiers))
+	if c.inval == nil {
+		return out
+	}
+	set := c.inval.ReadSet(ictx.Operation, ictx.Params)
+	if len(set) == 0 {
+		return out
+	}
+	names := make([]string, len(set))
+	for i, ks := range set {
+		names[i] = string(ks)
+	}
+	for i, t := range c.tiers {
+		out[i] = t.PutStamps(tk, names)
+	}
+	return out
+}
+
+// tierFill writes a fresh origin response through to the remote tiers
+// in the selected wire representation. Failures are soft and counted;
+// the local fill already happened.
+func (c *Cache) tierFill(tk tier.Key, op OperationPolicy, ictx *client.Context, stamps [][]tier.Stamp) {
+	if len(c.tiers) == 0 {
+		return
+	}
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
+	repName, data, _, err := c.wire.StoreWire(ictx)
+	if c.timed {
+		c.observe(ictx.Operation, obs.StageTierPut, repName, c.now().Sub(start), err)
+	}
+	if err != nil {
+		// No wire-capable representation holds this result (or encoding
+		// failed); the result stays L1-only.
+		c.m.tierErrors.Add(1)
+		return
+	}
+	ttl := c.entryTTL(op, ictx)
+	ctx := ictx.Ctx
+	for i, t := range c.tiers {
+		e := tier.Entry{Rep: repName, Value: data, TTL: ttl}
+		if stamps != nil {
+			e.Stamps = stamps[i]
+		}
+		if err := t.Put(ctx, tk, e); err != nil {
+			c.m.tierErrors.Add(1)
+			c.tierm[i].errors.Add(1)
+			continue
+		}
+		c.tierm[i].stores.Add(1)
+	}
+}
+
+// --- Cache as a tier.Tier (the daemon side) --------------------------
+
+var _ tier.Tier = (*Cache)(nil)
+
+// wirePayload is the payload form of an entry held for remote clients:
+// the chosen representation's name and its encoded bytes, exactly as
+// they travel.
+type wirePayload struct {
+	rep  string
+	data []byte
+}
+
+// wirePayloadStore is the ValueStore attached to wire entries. They
+// are served back over the wire, never materialized in the daemon, so
+// both directions refuse.
+type wirePayloadStore struct{}
+
+func (wirePayloadStore) Name() string { return "wire" }
+
+func (wirePayloadStore) Store(*client.Context) (any, int, error) {
+	return nil, 0, errors.New("core: wire payload store holds only tier entries")
+}
+
+func (wirePayloadStore) Load(any) (any, error) {
+	return nil, errors.New("core: a wire payload cannot be materialized in-process")
+}
+
+// tierDigest maps a cross-process tier key onto the shard structure.
+// Tier keys and client-path digests share the table; both are uniform
+// 128-bit values, so coexistence is collision-safe to the same odds
+// as the digests themselves.
+func tierDigest(k tier.Key) keyDigest { return keyDigest{hi: k.Hi, lo: k.Lo} }
+
+// Name implements tier.Tier.
+func (c *Cache) Name() string { return "l1" }
+
+// Get implements tier.Tier: look up a wire entry by tier key. The
+// freshness ladder matches the in-process lookup — stale stamps drop
+// the entry, TTL expiry retains it only if the resilience config still
+// has a use for it — and the returned TTL is the remaining lifetime,
+// so a promoting client cannot outlive the daemon's own deadline.
+func (c *Cache) Get(_ context.Context, k tier.Key) (tier.Entry, bool, error) {
+	d := tierDigest(k)
+	sh := c.shard(d)
+	sh.mu.Lock()
+	e, ok := sh.table[d]
+	if !ok {
+		sh.mu.Unlock()
+		c.m.misses.Add(1)
+		return tier.Entry{}, false, nil
+	}
+	if invalidate.Stale(e.stamps) {
+		sh.removeLocked(e)
+		sh.mu.Unlock()
+		c.m.invalidations.Add(1)
+		c.m.misses.Add(1)
+		return tier.Entry{}, false, nil
+	}
+	now := c.now()
+	if e.expired(now) {
+		if !c.retainStaleLocked(e, now) {
+			sh.removeLocked(e)
+		}
+		sh.mu.Unlock()
+		c.m.expirations.Add(1)
+		c.m.misses.Add(1)
+		return tier.Entry{}, false, nil
+	}
+	wp, ok := e.payload.(*wirePayload)
+	if !ok {
+		// A client-path entry under a colliding digest; not servable as
+		// bytes.
+		sh.mu.Unlock()
+		c.m.misses.Add(1)
+		return tier.Entry{}, false, nil
+	}
+	var remaining time.Duration
+	if !e.expires.IsZero() {
+		remaining = e.expires.Sub(now)
+	}
+	sh.moveToFrontLocked(e)
+	sh.mu.Unlock()
+	c.m.hits.Add(1)
+	return tier.Entry{Rep: wp.rep, Value: wp.data, TTL: remaining}, true, nil
+}
+
+// PutStamps implements tier.Tier: this cache's current epochs for the
+// keyspaces, the snapshot a client takes (through the cluster
+// protocol, via its mirror) before the backend read it intends to
+// cache.
+func (c *Cache) PutStamps(_ tier.Key, keyspaces []string) []tier.Stamp {
+	stamps := make([]tier.Stamp, len(keyspaces))
+	for i, ks := range keyspaces {
+		stamps[i] = tier.Stamp{Keyspace: ks}
+		if c.inval != nil {
+			stamps[i].Epoch = c.inval.Epoch(invalidate.Keyspace(ks))
+		}
+	}
+	return stamps
+}
+
+// Put implements tier.Tier: store an already-encoded entry under the
+// sender's pre-read epoch snapshot. A snapshot any committed write has
+// overtaken makes the entry born-stale — it is refused (silently;
+// refusal is the protocol working, not an error) rather than stored
+// and filtered later, so a daemon restart or slow client can never
+// park a stale value where the whole fleet would find it.
+func (c *Cache) Put(_ context.Context, k tier.Key, te tier.Entry) error {
+	var stamps []invalidate.Stamp
+	if c.inval != nil && len(te.Stamps) > 0 {
+		stamps = make([]invalidate.Stamp, len(te.Stamps))
+		for i, s := range te.Stamps {
+			stamps[i] = c.inval.StampWith(invalidate.Keyspace(s.Keyspace), s.Epoch)
+		}
+		if invalidate.Stale(stamps) {
+			c.m.tierRefused.Add(1)
+			return nil
+		}
+	}
+	var expires time.Time
+	if te.TTL > 0 {
+		expires = c.now().Add(te.TTL)
+	}
+	d := tierDigest(k)
+	size := len(te.Value) + len(te.Rep)
+	sh := c.shard(d)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.table[d]; ok {
+		sh.removeLocked(old)
+	}
+	e := &entry{
+		digest:  d,
+		payload: &wirePayload{rep: te.Rep, data: te.Value},
+		size:    size,
+		expires: expires,
+		store:   wirePayloadStore{},
+		ttl:     te.TTL,
+		stamps:  stamps,
+	}
+	sh.table[d] = e
+	sh.pushFrontLocked(e)
+	sh.nbytes.Add(int64(size))
+	sh.nentries.Add(1)
+	c.m.stores.Add(1)
+	sh.evictLocked(c.m.evictions)
+	return nil
+}
+
+// Delete implements tier.Tier.
+func (c *Cache) Delete(_ context.Context, k tier.Key) error {
+	d := tierDigest(k)
+	sh := c.shard(d)
+	sh.mu.Lock()
+	if e, ok := sh.table[d]; ok {
+		sh.removeLocked(e)
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+// BumpEpoch implements tier.Tier: apply epoch advances pushed by a
+// remote process. ApplyRemote (not Bump) so the daemon's own OnBump
+// hooks — if any — do not re-broadcast a bump that originated
+// elsewhere.
+func (c *Cache) BumpEpoch(_ context.Context, keyspaces []string) error {
+	if c.inval == nil {
+		return errors.New("core: cache has no invalidator; epoch bumps cannot be applied")
+	}
+	for _, ks := range keyspaces {
+		c.inval.ApplyRemote(invalidate.Keyspace(ks))
+	}
+	return nil
+}
+
+// TierStats implements tier.Tier.
+func (c *Cache) TierStats() tier.Stats {
+	s := c.Stats()
+	return tier.Stats{
+		Hits:    s.Hits,
+		Misses:  s.Misses,
+		Stores:  s.Stores,
+		Errors:  s.Errors,
+		Entries: s.Entries,
+		Bytes:   s.Bytes,
+	}
+}
+
+// resolveWire picks the cache's WireSelector: the store itself when it
+// selects wire representations (the adaptive selector), else the
+// static preference walk over the registry. Validate has already
+// guaranteed one of the two exists when tiers are configured.
+func resolveWire(store rep.ValueStore, reg *rep.Registry) rep.WireSelector {
+	if ws, ok := store.(rep.WireSelector); ok {
+		return ws
+	}
+	if reg != nil {
+		return rep.NewStaticWire(reg)
+	}
+	return nil
+}

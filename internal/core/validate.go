@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rep"
+)
+
+// Validate checks the configuration without building a cache,
+// returning the first problem found as a descriptive error. New calls
+// it; binaries that assemble a Config from flags (cmd/wscached,
+// cmd/dummygoogle) call it directly so a bad flag fails at startup
+// with the same message a programmatic misuse would get.
+func (cfg Config) Validate() error {
+	if cfg.KeyGen == nil {
+		return fmt.Errorf("core: Config.KeyGen is required")
+	}
+	if cfg.Store == nil && cfg.Rep == nil {
+		return fmt.Errorf("core: Config.Store is required (or set Config.Rep for the adaptive default)")
+	}
+	if cfg.MaxEntries < 0 {
+		return fmt.Errorf("core: Config.MaxEntries is %d; bounds must be ≥ 0 (0 means unbounded)", cfg.MaxEntries)
+	}
+	if cfg.MaxBytes < 0 {
+		return fmt.Errorf("core: Config.MaxBytes is %d; bounds must be ≥ 0 (0 means unbounded)", cfg.MaxBytes)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("core: Config.Shards is %d; want ≥ 0 (0 picks the default)", cfg.Shards)
+	}
+	if cfg.DefaultTTL < 0 {
+		return fmt.Errorf("core: Config.DefaultTTL is %v; negative lifetimes are not valid (0 means never expire)", cfg.DefaultTTL)
+	}
+	if cfg.StaleIfError < 0 {
+		return fmt.Errorf("core: Config.StaleIfError is %v; want ≥ 0 (0 disables degraded serving)", cfg.StaleIfError)
+	}
+	for i, t := range cfg.Tiers {
+		if t == nil {
+			return fmt.Errorf("core: Config.Tiers[%d] is nil", i)
+		}
+	}
+	if len(cfg.Tiers) > 0 {
+		// A tier stack ships entries across process boundaries, which
+		// needs a wire-capable representation selector: either the
+		// registry (for the static or adaptive wire selector) or a Store
+		// that selects wire representations itself.
+		_, storeSelects := cfg.Store.(rep.WireSelector)
+		if cfg.Rep == nil && !storeSelects {
+			return fmt.Errorf("core: Config.Tiers requires Config.Rep (or a Store implementing rep.WireSelector) to encode entries for the wire")
+		}
+	}
+	return nil
+}

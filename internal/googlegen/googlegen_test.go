@@ -3,6 +3,7 @@ package googlegen
 import (
 	"context"
 	"reflect"
+	"repro/internal/rep"
 	"testing"
 	"time"
 
@@ -114,8 +115,8 @@ func TestGeneratedTypesWithCache(t *testing.T) {
 	}
 	codec := soap.NewCodec(reg)
 	cache := core.MustNew(core.Config{
-		KeyGen:     core.NewStringKey(),
-		Store:      core.NewAutoStore(reg, codec),
+		KeyGen:     rep.NewStringKey(),
+		Store:      rep.NewAutoStore(reg, codec),
 		DefaultTTL: time.Hour,
 	})
 	cl := newTypedClient(t, cache)

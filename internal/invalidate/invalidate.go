@@ -158,10 +158,26 @@ type Invalidator struct {
 	graph *Graph
 	cells sync.Map // Keyspace -> *epoch
 
+	// version counts every epoch mutation this Invalidator has applied,
+	// local or remote. It is the cheap "has anything changed" cursor the
+	// cluster protocol compares across processes: a daemon stamps every
+	// response with its version, and a client whose mirror is behind
+	// fetches the full epoch table.
+	version atomic.Uint64
+
+	// hookMu guards onBump. Hooks are registered during wiring but the
+	// slice is read on every commit, so registration is also safe at
+	// run time.
+	hookMu sync.Mutex
+	onBump []func([]Keyspace)
+
 	// writesCommitted counts write-through commits that bumped at least
-	// zero keyspaces; bumps counts individual keyspace bumps.
+	// zero keyspaces; bumps counts individual keyspace bumps, and
+	// remoteBumps the subset applied on behalf of another process via
+	// ApplyRemote.
 	writesCommitted *obs.Counter
 	bumps           *obs.Counter
+	remoteBumps     *obs.Counter
 }
 
 // New builds an Invalidator over graph, recording its counters into reg
@@ -177,6 +193,7 @@ func New(graph *Graph, reg *obs.Registry) *Invalidator {
 		graph:           graph,
 		writesCommitted: reg.Counter("invalidate.writes"),
 		bumps:           reg.Counter("invalidate.bumps"),
+		remoteBumps:     reg.Counter("invalidate.remote_bumps"),
 	}
 	reg.SetInspection("invalidation", func() any { return inv.Snapshot() })
 	return inv
@@ -226,8 +243,12 @@ func (inv *Invalidator) CommitWrite(op string, params []soap.Param) int {
 	if len(ks) == 0 {
 		return 0
 	}
+	// Hooks fire BEFORE the local cells advance — see OnBump for why the
+	// order is load-bearing.
+	inv.fireOnBump(ks)
 	for _, k := range ks {
 		inv.cell(k).v.Add(1)
+		inv.version.Add(1)
 	}
 	inv.bumps.Add(int64(len(ks)))
 	inv.writesCommitted.Add(1)
@@ -238,8 +259,98 @@ func (inv *Invalidator) CommitWrite(op string, params []soap.Param) int {
 // invalidation signals (an operator action, a server-push channel)
 // that do not flow through a declared operation.
 func (inv *Invalidator) Bump(ks Keyspace) {
+	// Hooks first, then the local advance — same order as CommitWrite,
+	// for the same reason (see OnBump).
+	inv.fireOnBump([]Keyspace{ks})
 	inv.cell(ks).v.Add(1)
+	inv.version.Add(1)
 	inv.bumps.Add(1)
+}
+
+// OnBump registers a hook fired on a LOCAL epoch advance (CommitWrite
+// or Bump) with the keyspaces being bumped. The L2 remote tier
+// registers one to push the bump to the shared daemon synchronously,
+// before the write-through call returns, so the stale-after-write
+// invariant extends across the wire.
+//
+// Hooks fire BEFORE the local cells advance, and the order is
+// load-bearing: it makes "this process's stamps are fresh with respect
+// to write W" imply "the shared daemon has already seen W's bump". A
+// hit the daemon serves to a reader holding post-W stamps therefore
+// cannot predate W — the daemon's own stamp check would have dropped
+// it. With the opposite order there is a window (local cells advanced,
+// push not yet landed) where a reader snapshots post-W stamps, finds
+// nothing pending to flush, and promotes the daemon's pre-W entry into
+// L1 under stamps no later write has overtaken: a stale value with a
+// fresh badge. Between the hook and the local advance, concurrent
+// readers may still serve the pre-W value locally — the write has not
+// returned yet, so that is linearizable, not stale. Hooks run on the
+// committing goroutine and must not call back into the Invalidator's
+// local-bump methods.
+func (inv *Invalidator) OnBump(f func(keyspaces []Keyspace)) {
+	inv.hookMu.Lock()
+	inv.onBump = append(inv.onBump, f)
+	inv.hookMu.Unlock()
+}
+
+// fireOnBump runs the registered hooks for a local bump.
+func (inv *Invalidator) fireOnBump(ks []Keyspace) {
+	inv.hookMu.Lock()
+	hooks := inv.onBump
+	inv.hookMu.Unlock()
+	for _, f := range hooks {
+		f(ks)
+	}
+}
+
+// ApplyRemote advances a keyspace's epoch on behalf of another
+// process — the receive side of cluster epoch propagation. It
+// deliberately does NOT fire OnBump hooks: the bump originated
+// elsewhere and re-pushing it would echo forever between processes.
+func (inv *Invalidator) ApplyRemote(ks Keyspace) {
+	inv.cell(ks).v.Add(1)
+	inv.version.Add(1)
+	inv.bumps.Add(1)
+	inv.remoteBumps.Add(1)
+}
+
+// InvalidateAll advances every existing epoch cell — the conservative
+// hammer for "our view of the world may be stale in ways we cannot
+// enumerate", e.g. a shared daemon restarted and any bumps pushed to
+// the old incarnation are lost. Entries with no stamps (operations
+// with no declared read set) are unaffected, exactly as they are
+// unaffected by ordinary bumps. No hooks fire.
+func (inv *Invalidator) InvalidateAll() {
+	n := int64(0)
+	inv.cells.Range(func(_, v any) bool {
+		v.(*epoch).v.Add(1)
+		inv.version.Add(1)
+		n++
+		return true
+	})
+	inv.bumps.Add(n)
+}
+
+// Version returns the count of epoch mutations applied so far; it
+// only grows. Equal versions mean "no epoch has changed in between";
+// the cluster protocol uses it to skip epoch-table transfers.
+func (inv *Invalidator) Version() uint64 { return inv.version.Load() }
+
+// ReadSet resolves op's declared read keyspaces for these parameters,
+// nil when undeclared — the names a tier fill attaches to the entry so
+// a remote tier can stamp it against its own epoch table.
+func (inv *Invalidator) ReadSet(op string, params []soap.Param) []Keyspace {
+	return inv.graph.readSet(op, params)
+}
+
+// StampWith returns a stamp binding ks's cell (creating it if needed)
+// to a caller-supplied observed epoch, rather than the current one.
+// It is how a daemon adopts a client's pre-read snapshot: the client
+// reports the epoch it saw for ks before its backend read, and the
+// resulting stamp is live — if the daemon's cell has advanced past
+// seen (or advances later), Stale reports it.
+func (inv *Invalidator) StampWith(ks Keyspace, seen uint64) Stamp {
+	return Stamp{cell: inv.cell(ks), seen: seen}
 }
 
 // Epoch returns a keyspace's current epoch (0 if never touched).

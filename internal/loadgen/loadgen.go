@@ -92,14 +92,6 @@ func (r Result) String() string {
 	return s
 }
 
-// Run executes the configured load and returns aggregate metrics.
-//
-// Deprecated: Run cannot be cancelled. Use RunContext so a caller's
-// deadline or interrupt stops the load.
-func Run(cfg Config) (Result, error) {
-	return RunContext(context.Background(), cfg)
-}
-
 // RunContext executes the configured load, stopping early when ctx is
 // cancelled: no further requests are issued, in-flight requests finish,
 // and the partial result is returned alongside ctx's error. Requests

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -58,7 +59,7 @@ func TestScheduleInterleaved(t *testing.T) {
 
 func TestRunCountsAndThroughput(t *testing.T) {
 	var calls int64
-	res, err := Run(Config{
+	res, err := RunContext(context.Background(), Config{
 		Concurrency: 4,
 		Requests:    200,
 		HitRatio:    0.5,
@@ -85,7 +86,7 @@ func TestRunCountsAndThroughput(t *testing.T) {
 
 func TestRunErrorsCounted(t *testing.T) {
 	boom := errors.New("x")
-	res, err := Run(Config{
+	res, err := RunContext(context.Background(), Config{
 		Concurrency: 2,
 		Requests:    10,
 		HitRatio:    0,
@@ -108,7 +109,7 @@ func TestRunErrorsCounted(t *testing.T) {
 func TestRunConcurrencyActuallyParallel(t *testing.T) {
 	var mu sync.Mutex
 	active, peak := 0, 0
-	res, err := Run(Config{
+	res, err := RunContext(context.Background(), Config{
 		Concurrency: 8,
 		Requests:    64,
 		HitRatio:    1,
@@ -148,33 +149,33 @@ func TestRunValidation(t *testing.T) {
 
 	bad := base
 	bad.Concurrency = 0
-	if _, err := Run(bad); err == nil {
+	if _, err := RunContext(context.Background(), bad); err == nil {
 		t.Error("zero concurrency accepted")
 	}
 	bad = base
 	bad.Requests = 0
-	if _, err := Run(bad); err == nil {
+	if _, err := RunContext(context.Background(), bad); err == nil {
 		t.Error("zero requests accepted")
 	}
 	bad = base
 	bad.HitRatio = 1.5
-	if _, err := Run(bad); err == nil {
+	if _, err := RunContext(context.Background(), bad); err == nil {
 		t.Error("ratio > 1 accepted")
 	}
 	bad = base
 	bad.Do = nil
-	if _, err := Run(bad); err == nil {
+	if _, err := RunContext(context.Background(), bad); err == nil {
 		t.Error("nil Do accepted")
 	}
 	bad = base
 	bad.HitRatio = 0.5
 	bad.HotQueries = nil
-	if _, err := Run(bad); err == nil {
+	if _, err := RunContext(context.Background(), bad); err == nil {
 		t.Error("hits without hot queries accepted")
 	}
 	bad = base
 	bad.MissQuery = nil
-	if _, err := Run(bad); err == nil {
+	if _, err := RunContext(context.Background(), bad); err == nil {
 		t.Error("misses without MissQuery accepted")
 	}
 }
@@ -232,7 +233,7 @@ func TestMixedScheduleWriteRatio(t *testing.T) {
 
 func TestRunMixedWrites(t *testing.T) {
 	var reads, writes int64
-	res, err := Run(Config{
+	res, err := RunContext(context.Background(), Config{
 		Concurrency: 4,
 		Requests:    200,
 		HitRatio:    0.4,
@@ -275,7 +276,7 @@ func TestRunMixedValidation(t *testing.T) {
 	} {
 		cfg := base
 		mutate(&cfg)
-		if _, err := Run(cfg); err == nil {
+		if _, err := RunContext(context.Background(), cfg); err == nil {
 			t.Errorf("%s: Run accepted invalid config", name)
 		}
 	}

@@ -56,7 +56,7 @@ func TestRunContextCompletesWithoutCancellation(t *testing.T) {
 func TestErrorClassification(t *testing.T) {
 	errBreaker := errors.New("breaker open")
 	errTimeout := errors.New("timeout")
-	res, err := Run(Config{
+	res, err := RunContext(context.Background(), Config{
 		Concurrency: 1,
 		Requests:    10,
 		MissQuery:   func(i int) string { return fmt.Sprintf("q%d", i) },
@@ -91,7 +91,7 @@ func TestErrorClassification(t *testing.T) {
 }
 
 func TestDefaultErrorClass(t *testing.T) {
-	res, err := Run(Config{
+	res, err := RunContext(context.Background(), Config{
 		Concurrency: 1,
 		Requests:    3,
 		MissQuery:   func(i int) string { return fmt.Sprintf("q%d", i) },

@@ -85,6 +85,12 @@ const (
 	// representation: a Store plus one Load, timed off the fill path
 	// (representation = store name).
 	StageRepProbe Stage = "rep-probe"
+	// StageTierGet is one remote-tier lookup on the miss path, round
+	// trip included (representation = tier name).
+	StageTierGet Stage = "tier-get"
+	// StageTierPut is one remote-tier fill: the wire encoding plus the
+	// store round trip (representation = chosen wire representation).
+	StageTierPut Stage = "tier-put"
 )
 
 // Tracer receives one callback per recorded stage: op is the operation

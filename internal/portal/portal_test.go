@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"repro/internal/rep"
 	"strings"
 	"testing"
 	"time"
@@ -25,8 +26,8 @@ func newPortal(t *testing.T) (*Site, *core.Cache) {
 		t.Fatal(err)
 	}
 	cache := core.MustNew(core.Config{
-		KeyGen:     core.NewStringKey(),
-		Store:      core.NewAutoStore(codec.Registry(), codec),
+		KeyGen:     rep.NewStringKey(),
+		Store:      rep.NewAutoStore(codec.Registry(), codec),
 		DefaultTTL: time.Hour,
 	})
 	tr := &transport.InProcess{Handler: disp}

@@ -73,6 +73,14 @@ type AdaptiveSelector struct {
 	// in registration order (= Table 3 preference order for ties).
 	candidates []*ValueSpec
 	classes    sync.Map // classKey -> *classState
+
+	// netMu guards the network cost model the wire-selection path
+	// (StoreWire) charges payload size against: EWMAs of remote round
+	// trip latency and payload size, fed by ObserveNet. Selector-wide,
+	// not per class — the wire is shared by every operation.
+	netMu    sync.Mutex
+	netNS    ewma
+	netBytes ewma
 }
 
 // classKey identifies one decision class: an operation and the dynamic

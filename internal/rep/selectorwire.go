@@ -1,0 +1,118 @@
+package rep
+
+import (
+	"time"
+
+	"repro/internal/client"
+)
+
+// The AdaptiveSelector's WireSelector side: the same per-(operation,
+// result type) cost models that pick the L1 representation also pick
+// the wire representation for remote tiers, with one substitution in
+// the score. The L1 score charges payload size against the byte
+// budget (capacity pressure); the wire score charges it against the
+// measured network cost per byte — a large payload costs transfer
+// time on every remote hit, which is exactly what the EWMA fed by
+// ObserveNet estimates.
+
+var _ WireSelector = (*AdaptiveSelector)(nil)
+
+// ObserveNet implements WireSelector: folds one remote round trip into
+// the network cost model.
+func (s *AdaptiveSelector) ObserveNet(d time.Duration, bytes int) {
+	s.netMu.Lock()
+	s.netNS.observe(float64(d.Nanoseconds()), s.cfg.Alpha)
+	s.netBytes.observe(float64(bytes), s.cfg.Alpha)
+	s.netMu.Unlock()
+}
+
+// netPerByte returns the estimated network nanoseconds per payload
+// byte, 0 until ObserveNet has samples.
+func (s *AdaptiveSelector) netPerByte() float64 {
+	s.netMu.Lock()
+	defer s.netMu.Unlock()
+	if !s.netNS.set || s.netBytes.val < 1 {
+		return 0
+	}
+	return s.netNS.val / s.netBytes.val
+}
+
+// StoreWire implements WireSelector. Among the wire-capable
+// candidates, a class with warm measurements picks the one minimizing
+// load latency plus transfer cost (bytes × net-ns-per-byte); a cold
+// class walks the static preference order. Either way the chosen
+// candidate must actually produce a payload for this concrete value,
+// so the walk falls through on Store errors.
+func (s *AdaptiveSelector) StoreWire(ictx *client.Context) (string, []byte, int, error) {
+	st := s.classFor(ictx)
+	specs := s.cfg.Registry.WireSpecs()
+
+	// Rank: measured candidates first by wire score, then the static
+	// order for the rest. A simple selection walk — the candidate list
+	// is four entries.
+	perByte := s.netPerByte()
+	order := make([]rankedWire, 0, len(specs))
+	st.mu.Lock()
+	for _, spec := range specs {
+		r := rankedWire{spec: spec}
+		if m, ok := st.models[spec.Name]; ok && m.samples >= int64(s.cfg.MinSamples) {
+			r.warm = true
+			r.score = m.loadNS.val + m.bytes.val*perByte
+		}
+		order = append(order, r)
+	}
+	st.mu.Unlock()
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && better(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	var firstErr error
+	for _, r := range order {
+		if !r.spec.Applicable(ictx) {
+			continue
+		}
+		payload, _, err := r.spec.Store.Store(ictx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		data, err := r.spec.Store.(WireStore).EncodeWire(payload)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return r.spec.Name, data, len(data), nil
+	}
+	if firstErr == nil {
+		firstErr = ErrNotApplicable
+	}
+	return "", nil, 0, firstErr
+}
+
+// rankedWire is one wire candidate with its current score.
+type rankedWire struct {
+	spec  *ValueSpec
+	score float64
+	warm  bool
+}
+
+// better orders ranked wire candidates: warm beats cold, lower score
+// beats higher among warm, earlier static position wins among cold
+// (the insertion sort is stable, so cold entries keep their order).
+func better(a, b rankedWire) bool {
+	if a.warm != b.warm {
+		return a.warm
+	}
+	return a.warm && a.score < b.score
+}
+
+// LoadWire implements WireSelector.
+func (s *AdaptiveSelector) LoadWire(rep string, data []byte) (any, ValueStore, error) {
+	return loadWire(s.cfg.Registry, rep, data)
+}

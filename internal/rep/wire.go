@@ -1,0 +1,230 @@
+package rep
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/sax"
+)
+
+// This file is the representation layer's second payoff (DESIGN.md
+// §5h): representation chosen PER TIER. The in-process L1 keeps the
+// full Table 3 menu including the copy/ref representations — payloads
+// that are live object graphs and cannot leave the process. A remote
+// tier can only hold bytes, so it admits the byte-oriented subset:
+// the XML message, binary serialization, gob, and the compact SAX
+// sequence, each able to flatten its payload to a wire form and back.
+
+// WireStore is the optional ValueStore extension a representation
+// implements when its payloads can cross a process boundary.
+// EncodeWire flattens a payload produced by Store into bytes;
+// DecodeWire reconstructs a payload that the same store's Load
+// accepts. DecodeWire may retain the input slice (callers hand over
+// ownership); EncodeWire's output may alias the payload, so callers
+// must only write it, never mutate.
+type WireStore interface {
+	ValueStore
+	EncodeWire(payload any) ([]byte, error)
+	DecodeWire(data []byte) (any, error)
+}
+
+// wirePreference is the static priority among wire-capable
+// representations, used until the cost model has samples: binary
+// serialization (compact payloads, cheap decode per Table 7), then the
+// compact SAX sequence (no type limitation beyond message capture),
+// then the raw XML message (universal), then gob (encoder overhead
+// inverts the ordering at these message sizes; see the ablation
+// benchmarks).
+var wirePreference = []string{"binser", "compact-sax", "xml", "gob"}
+
+// WireSpecs returns the registered wire-capable value specs, the
+// static preference order first, any further registered WireStores in
+// registration order after.
+func (r *Registry) WireSpecs() []*ValueSpec {
+	var out []*ValueSpec
+	seen := make(map[string]bool)
+	for _, name := range wirePreference {
+		if spec, err := r.ValueSpecFor(name); err == nil {
+			if _, ok := spec.Store.(WireStore); ok {
+				out = append(out, spec)
+				seen[spec.Name] = true
+			}
+		}
+	}
+	for _, spec := range r.Values() {
+		if _, ok := spec.Store.(WireStore); ok && !seen[spec.Name] {
+			out = append(out, spec)
+		}
+	}
+	return out
+}
+
+// WireSelector chooses and decodes the representation for remote
+// (byte-oriented) tiers. Both selection policies implement it: the
+// AdaptiveSelector scores wire candidates with its measured cost
+// models plus the learned network cost, StaticWire walks the fixed
+// preference order. core.Cache resolves one per cache when a tier
+// stack is configured.
+type WireSelector interface {
+	// StoreWire encodes the invocation's result with the chosen
+	// wire-capable representation, returning the representation's short
+	// registry name (what Entry.Rep carries) and the wire bytes.
+	StoreWire(ictx *client.Context) (rep string, data []byte, size int, err error)
+	// LoadWire reconstructs a payload from wire bytes produced under
+	// rep (possibly by another process), returning the payload and the
+	// store that materializes it, ready for an L1 fill.
+	LoadWire(rep string, data []byte) (payload any, store ValueStore, err error)
+	// ObserveNet folds one remote round trip (latency, payload bytes)
+	// into the selector's network cost estimate. No-op for selectors
+	// without a cost model.
+	ObserveNet(d time.Duration, bytes int)
+}
+
+// loadWire resolves rep in reg and decodes data — the shared LoadWire
+// implementation.
+func loadWire(reg *Registry, rep string, data []byte) (any, ValueStore, error) {
+	spec, err := reg.ValueSpecFor(rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws, ok := spec.Store.(WireStore)
+	if !ok {
+		return nil, nil, fmt.Errorf("rep: %q is not a wire-capable representation", rep)
+	}
+	payload, err := ws.DecodeWire(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return payload, spec.Store, nil
+}
+
+// StaticWire is the WireSelector for caches with a fixed ValueStore
+// (no adaptive selector): first applicable representation in the
+// static preference order wins, network cost is not modeled.
+type StaticWire struct {
+	reg *Registry
+}
+
+var _ WireSelector = (*StaticWire)(nil)
+
+// NewStaticWire returns the static wire selector over reg.
+func NewStaticWire(reg *Registry) *StaticWire { return &StaticWire{reg: reg} }
+
+// StoreWire implements WireSelector.
+func (w *StaticWire) StoreWire(ictx *client.Context) (string, []byte, int, error) {
+	var firstErr error
+	for _, spec := range w.reg.WireSpecs() {
+		if !spec.Applicable(ictx) {
+			continue
+		}
+		payload, _, err := spec.Store.Store(ictx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		data, err := spec.Store.(WireStore).EncodeWire(payload)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return spec.Name, data, len(data), nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("rep: %w: no wire-capable representation holds this result", ErrNotApplicable)
+	}
+	return "", nil, 0, firstErr
+}
+
+// LoadWire implements WireSelector.
+func (w *StaticWire) LoadWire(rep string, data []byte) (any, ValueStore, error) {
+	return loadWire(w.reg, rep, data)
+}
+
+// ObserveNet implements WireSelector (no cost model to feed).
+func (w *StaticWire) ObserveNet(time.Duration, int) {}
+
+// --- WireStore implementations -------------------------------------
+//
+// The three representations whose payloads already ARE the wire bytes
+// (XML message, binser, gob) encode by identity; the compact SAX
+// sequence flattens its interned tables through sax.AppendBinary.
+
+// EncodeWire implements WireStore.
+func (s *XMLMessageStore) EncodeWire(payload any) ([]byte, error) {
+	doc, ok := payload.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("rep: xml store: wire payload is %T", payload)
+	}
+	return doc, nil
+}
+
+// DecodeWire implements WireStore.
+func (s *XMLMessageStore) DecodeWire(data []byte) (any, error) {
+	return data, nil
+}
+
+// EncodeWire implements WireStore.
+func (s *BinserStore) EncodeWire(payload any) ([]byte, error) {
+	data, ok := payload.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("rep: binser store: wire payload is %T", payload)
+	}
+	return data, nil
+}
+
+// DecodeWire implements WireStore.
+func (s *BinserStore) DecodeWire(data []byte) (any, error) {
+	return data, nil
+}
+
+// EncodeWire implements WireStore.
+func (s *GobStore) EncodeWire(payload any) ([]byte, error) {
+	data, ok := payload.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("rep: gob store: wire payload is %T", payload)
+	}
+	return data, nil
+}
+
+// DecodeWire implements WireStore.
+func (s *GobStore) DecodeWire(data []byte) (any, error) {
+	return data, nil
+}
+
+// EncodeWire implements WireStore. One flag byte (multiref) precedes
+// the sequence's binary form.
+func (s *CompactSAXStore) EncodeWire(payload any) ([]byte, error) {
+	p, ok := payload.(*compactSAXPayload)
+	if !ok {
+		return nil, fmt.Errorf("rep: compact sax store: wire payload is %T", payload)
+	}
+	flag := byte(0)
+	if p.multiRef {
+		flag = 1
+	}
+	return p.seq.AppendBinary([]byte{flag}), nil
+}
+
+// DecodeWire implements WireStore.
+func (s *CompactSAXStore) DecodeWire(data []byte) (any, error) {
+	if len(data) < 1 || data[0] > 1 {
+		return nil, fmt.Errorf("rep: compact sax store: malformed wire payload")
+	}
+	seq, err := sax.DecodeCompactSequence(data[1:])
+	if err != nil {
+		return nil, fmt.Errorf("rep: compact sax store: %w", err)
+	}
+	return &compactSAXPayload{seq: seq, multiRef: data[0] == 1}, nil
+}
+
+var (
+	_ WireStore = (*XMLMessageStore)(nil)
+	_ WireStore = (*BinserStore)(nil)
+	_ WireStore = (*GobStore)(nil)
+	_ WireStore = (*CompactSAXStore)(nil)
+)

@@ -1,0 +1,59 @@
+package tier
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKeyOfVectors pins the digest against independently computed
+// FNV-1a 128 values. The constants below follow the FNV reference
+// parameters (offset basis 0x6c62272e07bb0142_62b821756295c58d, prime
+// 2^88+2^8+0x3b); the empty input must return the offset basis
+// unchanged. These are wire-compatibility vectors: a client and a
+// daemon that disagree here cannot share entries, so changing them is
+// a protocol break.
+func TestKeyOfVectors(t *testing.T) {
+	cases := []struct {
+		in     string
+		hi, lo uint64
+	}{
+		{"", 0x6c62272e07bb0142, 0x62b821756295c58d},
+		// (basis ^ byte) * prime chains, computed with big integers.
+		{"a", 0xd228cb696f1a8caf, 0x78912b704e4a8964},
+		{"ab", 0x08809544bbab1be9, 0x5aa0733055b69a62},
+	}
+	for _, c := range cases {
+		got := KeyOf([]byte(c.in))
+		if got.Hi != c.hi || got.Lo != c.lo {
+			t.Errorf("KeyOf(%q) = {%#x %#x}, want {%#x %#x}", c.in, got.Hi, got.Lo, c.hi, c.lo)
+		}
+	}
+}
+
+// TestKeyOfStability exercises the property the maphash digest cannot
+// offer: the same bytes always digest to the same key, and nearby keys
+// do not collide.
+func TestKeyOfStability(t *testing.T) {
+	seen := make(map[Key]string)
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("endpoint\x00op\x00key=%d", i)
+		d := KeyOf([]byte(k))
+		if d != KeyOf([]byte(k)) {
+			t.Fatalf("KeyOf not deterministic for %q", k)
+		}
+		if prev, ok := seen[d]; ok {
+			t.Fatalf("collision: %q and %q both digest to %v", prev, k, d)
+		}
+		seen[d] = k
+	}
+}
+
+func BenchmarkKeyOf(b *testing.B) {
+	key := []byte("http://127.0.0.1:8080/soap\x00doGetCachedPage\x00key=demo\x00url=http://example.com/very/long/path")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkKey = KeyOf(key)
+	}
+}
+
+var sinkKey Key
