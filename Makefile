@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint lint-fix test race cover bench bench-rep bench-inval bench-cluster bench-all bench-smoke chaos tables figures fuzz generate clean
+.PHONY: all check build vet lint lint-fix test race cover bench bench-rep bench-diff bench-inval bench-cluster bench-all bench-smoke chaos tables figures fuzz generate clean
 
 all: build vet lint test
 
@@ -64,6 +64,18 @@ bench-rep:
 	  -note "checked-in run: single-CPU container; steady-state full-stack hit, entry filled by the selector's first probe round"
 	@cat BENCH_rep.json
 
+# Track differential serialization and zero-copy replay (DESIGN.md
+# §5i): a steady-state full-stack hit under the object baselines vs the
+# raw-replay and template-splice representations, archived as
+# BENCH_diff.json. The streaming rows deliver the serialized response
+# to a writer and must still be the cheapest; TestDiffHitAllocs holds
+# them at <= 2 allocs/op.
+bench-diff:
+	$(GO) test -run NONE -bench 'BenchmarkDiffHit' -benchtime 2s -benchmem ./ \
+	| $(GO) run ./cmd/benchjson -o BENCH_diff.json \
+	  -note "checked-in run: single-CPU container; steady-state full-stack hit, streaming rows replay the response into io.Discard on every call"
+	@cat BENCH_diff.json
+
 # Track the invalidation epoch check on the hit path: BenchmarkHitInval
 # is BenchmarkHitSerial with two epoch stamps per entry, archived as
 # BENCH_inval.json. TestInvalHitOverhead holds the delta under 5%.
@@ -98,7 +110,7 @@ chaos:
 # still run; the numbers are meaningless at -benchtime 1x.
 bench-smoke:
 	{ $(GO) test -run NONE -bench 'BenchmarkHit' -benchtime 1x -benchmem ./internal/core && \
-	  $(GO) test -run NONE -bench 'BenchmarkPortalConcurrency/users=4|BenchmarkRepSelector' -benchtime 1x ./; } \
+	  $(GO) test -run NONE -bench 'BenchmarkPortalConcurrency/users=4|BenchmarkRepSelector|BenchmarkDiffHit' -benchtime 1x ./; } \
 	| $(GO) run ./cmd/benchjson
 
 # Regenerate every table and figure of the paper's evaluation.
@@ -117,6 +129,7 @@ fuzz:
 	$(GO) test -fuzz FuzzScanner -fuzztime 30s ./internal/xmltext
 	$(GO) test -fuzz FuzzEscapeRoundTrip -fuzztime 30s ./internal/xmltext
 	$(GO) test -fuzz FuzzDecodeEnvelope -fuzztime 30s ./internal/soap
+	$(GO) test -fuzz FuzzTemplateSplice -fuzztime 30s ./internal/sax
 
 # Regenerate the checked-in WSDL compiler output.
 generate:

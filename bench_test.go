@@ -28,6 +28,7 @@ import (
 	"repro/internal/rep"
 	"repro/internal/sax"
 	"repro/internal/server"
+	"repro/internal/soap"
 	"repro/internal/transport"
 )
 
@@ -774,6 +775,132 @@ func BenchmarkRepSelector(b *testing.B) {
 				if _, err := call.Invoke(ctx, params...); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// diffHitCall builds a full middleware stack whose client cache is
+// statically pinned to one streaming representation and whose call
+// opts into streamed hits, for the DESIGN.md §5i differential-
+// serialization benchmarks. recordEvents is set for xmltmpl (template
+// building wants the recorded sequence; raw replay needs only the
+// response bytes).
+func diffHitCall(tb testing.TB, repName string, recordEvents bool) *client.Call {
+	tb.Helper()
+	disp, codec, err := googleapi.NewDispatcher()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	reg := rep.NewRegistry(codec.Registry(), codec)
+	spec, err := reg.ValueSpecFor(repName)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cache := core.MustNew(core.Config{
+		KeyGen:     rep.NewStringKey(),
+		Store:      spec.Store,
+		DefaultTTL: time.Hour,
+	})
+	return client.NewCall(codec, &transport.InProcess{Handler: disp},
+		googleapi.Endpoint, googleapi.Namespace, googleapi.OpGoogleSearch, "",
+		client.Options{RecordEvents: recordEvents, AcceptStream: true,
+			Handlers: []client.Handler{cache}})
+}
+
+// streamHit runs one full-stack hit and replays the streamed response
+// into w.
+func streamHit(tb testing.TB, call *client.Call, ctx context.Context,
+	params []soap.Param, w io.Writer) {
+	ictx, err := call.InvokeContext(ctx, params...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	wt, ok := ictx.Stream()
+	if !ok {
+		tb.Fatalf("stream-accepting invocation yields no stream (result %T)", ictx.Result)
+	}
+	if _, err := wt.WriteTo(w); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkDiffHit is the headline comparison for differential
+// serialization and zero-copy replay (DESIGN.md §5i): a steady-state
+// full-stack cache hit under the object-representation baselines
+// against the two streaming representations. The baselines hand back a
+// materialized object; the streaming rows additionally replay the
+// serialized response into a writer — strictly more delivered work —
+// and must still be the cheapest rows in the table.
+func BenchmarkDiffHit(b *testing.B) {
+	params := googleapi.SearchParams("k", "steady query", 0, 10, false, "", false, "")
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		name     string
+		adaptive bool
+	}{
+		{"baseline auto", false},
+		{"baseline adaptive", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			call := repHitCall(b, tc.adaptive)
+			if _, err := call.Invoke(ctx, params...); err != nil { // warm: fill the entry
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := call.Invoke(ctx, params...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, tc := range []struct {
+		name         string
+		rep          string
+		recordEvents bool
+	}{
+		{"raw replay", "raw", false},
+		{"xmltmpl splice", "xmltmpl", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			call := diffHitCall(b, tc.rep, tc.recordEvents)
+			streamHit(b, call, ctx, params, io.Discard) // warm: fill entry, grow pool buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				streamHit(b, call, ctx, params, io.Discard)
+			}
+		})
+	}
+}
+
+// TestDiffHitAllocs is the §5i allocation guard: a steady-state
+// full-stack hit that replays the response must allocate at most twice
+// per call (the invocation context; everything else rides pooled or
+// immutable state). Guarded for both streaming representations.
+func TestDiffHitAllocs(t *testing.T) {
+	params := googleapi.SearchParams("k", "steady query", 0, 10, false, "", false, "")
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name         string
+		rep          string
+		recordEvents bool
+	}{
+		{"raw", "raw", false},
+		{"xmltmpl", "xmltmpl", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			call := diffHitCall(t, tc.rep, tc.recordEvents)
+			streamHit(t, call, ctx, params, io.Discard) // fill
+			streamHit(t, call, ctx, params, io.Discard) // settle pools
+			allocs := testing.AllocsPerRun(200, func() {
+				streamHit(t, call, ctx, params, io.Discard)
+			})
+			if allocs > 2 {
+				t.Errorf("steady-state %s hit allocates %.1f times per call, want <= 2", tc.rep, allocs)
 			}
 		})
 	}

@@ -12,6 +12,7 @@
 //	dummygoogle -addr :8080 -fixed           # precomputed identical responses
 //	dummygoogle -cache                       # server-side response cache (raw bodies)
 //	dummygoogle -cache -cache-rep compact    # ... resident as compact SAX events
+//	dummygoogle -cache -cache-rep xmltmpl    # ... resident as splice templates
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 	fixed := flag.Bool("fixed", false, "serve precomputed fixed responses (cheapest back end)")
 	ttl := flag.Duration("ttl", time.Hour, "Cache-Control max-age stamped on responses (0 disables)")
 	useCache := flag.Bool("cache", false, "wrap the dispatcher in the server-side response cache")
-	cacheRep := flag.String("cache-rep", "raw", `resident representation for cached bodies: "raw" or "compact-sax"`)
+	cacheRep := flag.String("cache-rep", "raw", `resident representation for cached bodies: "raw", "compact-sax", or "xmltmpl" (shared splice template per response shape)`)
 	flag.Parse()
 
 	if err := run(*addr, *fixed, *ttl, *useCache, *cacheRep); err != nil {

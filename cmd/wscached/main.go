@@ -5,7 +5,7 @@
 // Clients route keys to daemons by consistent hashing, so a fleet runs
 // N wscached processes and every client lists all N addresses. The
 // daemon is representation-aware only in that it stores the wire bytes
-// a client selected (binser, compact-sax, xml, gob) and hands them
+// a client selected (raw, xmltmpl, binser, compact-sax, xml, gob) and hands them
 // back verbatim; decoding happens client-side. Epoch bumps pushed by
 // any writer advance the daemon's epoch table, and every response
 // carries the table version so other clients resync their L1s on next

@@ -44,7 +44,7 @@ func main() {
 	endpoint := flag.String("endpoint", "", "endpoint override (default: the WSDL's soap:address)")
 	useCache := flag.Bool("cache", false, "enable the client response cache")
 	l2 := flag.String("l2", "", "comma-separated wscached addresses for a shared L2 tier (implies -cache)")
-	repName := flag.String("rep", "adaptive", `cache value representation: a registry name (sax, dom, gob, ...), "auto" (static classifier), or "adaptive" (measured-cost selector)`)
+	repName := flag.String("rep", "adaptive", `cache value representation: a registry name (sax, dom, gob, raw, xmltmpl, ...), "auto" (static classifier), or "adaptive" (measured-cost selector); pinning a streaming rep (raw, xmltmpl) makes hits yield replayable bytes instead of objects`)
 	repeat := flag.Int("repeat", 1, "invoke the operation this many times")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-call timeout")
 	retries := flag.Int("retries", 1, "total attempts per call (>1 retries transient transport failures)")

@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"strings"
 	"time"
@@ -79,6 +80,40 @@ func run() error {
 		fmt.Printf("%-22s %12v  %s\n", store.Name(), perHit, note)
 	}
 
+	// The streaming representations (DESIGN.md §5i): consumers that
+	// accept serialized bytes instead of objects skip materialization
+	// entirely. Raw replay stores the exact response; the XML template
+	// shares one skeleton per response shape and splices only the
+	// character data per entry.
+	fmt.Println("\nStreaming representations (stream-accepting consumers, DESIGN.md §5i):")
+	fmt.Printf("%-22s %12s  %s\n", "representation", "replay cost", "notes")
+	tmplStore := rep.NewTemplateStore()
+	for _, store := range []rep.ValueStore{rep.NewRawStreamStore(), tmplStore} {
+		payload, _, err := store.Store(search.Ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", store.Name(), err)
+		}
+		const n = 100
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			loaded, err := store.Load(payload)
+			if err != nil {
+				return fmt.Errorf("%s: %w", store.Name(), err)
+			}
+			if _, err := loaded.(rep.Streamed).WriteTo(io.Discard); err != nil {
+				return fmt.Errorf("%s: %w", store.Name(), err)
+			}
+		}
+		perHit := time.Since(start) / n
+		note := "exact bytes, zero-copy replay"
+		if ts, ok := store.(*rep.TemplateStore); ok {
+			s := ts.Stats()
+			note = fmt.Sprintf("%d skeleton(s) of %d bytes shared; %d build(s), %d splice(s)",
+				s.Skeletons, s.SkeletonBytes, s.Builds, s.Splices)
+		}
+		fmt.Printf("%-22s %12v  %s\n", store.Name(), perHit, note)
+	}
+
 	// The Section 6 classifier at work on the three result classes.
 	reps := rep.NewRegistry(env.Reg, env.Codec)
 	auto := rep.NewAutoStore(env.Reg, env.Codec)
@@ -87,6 +122,11 @@ func run() error {
 		op := &env.Ops[i]
 		fmt.Printf("  %-22s %-24T -> %s\n", op.Op, op.Ctx.Result, auto.Classify(op.Ctx))
 	}
+	// The same results for a stream-accepting consumer: the classifier
+	// pre-empts every object representation with raw replay.
+	streamCtx := *search.Ctx
+	streamCtx.AcceptStream = true
+	fmt.Printf("  %-22s %-24s -> %s\n", googleapi.OpGoogleSearch, "(AcceptStream)", auto.Classify(&streamCtx))
 
 	// The adaptive selector measuring the same fixtures: feed it enough
 	// fills and hits per operation to converge, then print the costs it

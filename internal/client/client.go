@@ -14,6 +14,7 @@ package client
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -62,7 +63,18 @@ type Context struct {
 	// (set by the pivot when RecordEvents is enabled).
 	ResponseEvents []sax.Event
 
-	// Result is the response application object.
+	// AcceptStream declares that this invocation's consumer can handle
+	// Result being a byte-stream payload (an io.WriterTo such as
+	// rep.Streamed) instead of a decoded application object. Caching
+	// handlers use it to gate the streaming representations ("raw",
+	// "xmltmpl"), whose hits replay serialized bytes rather than
+	// rebuilding objects. Copied from Options.AcceptStream by Invoke.
+	AcceptStream bool
+
+	// Result is the response application object — or, when AcceptStream
+	// is set and a streaming representation served the hit, an
+	// io.WriterTo over the serialized response. Use Stream to consume
+	// either form uniformly.
 	Result any
 
 	// CacheHit reports that a cache handler satisfied the invocation.
@@ -73,6 +85,35 @@ type Context struct {
 	// (core.Config.StaleIfError). Always accompanied by CacheHit.
 	ServedStale bool
 }
+
+// Stream returns the response as a replayable byte stream: the Result
+// itself when a streaming representation served it, otherwise a
+// single-write adapter over ResponseXML. ok is false when neither is
+// available (e.g. a hit from an object representation, which never
+// carries envelope bytes).
+func (ictx *Context) Stream() (io.WriterTo, bool) {
+	if wt, ok := ictx.Result.(io.WriterTo); ok {
+		return wt, true
+	}
+	if len(ictx.ResponseXML) > 0 {
+		return bytesStream(ictx.ResponseXML), true
+	}
+	return nil, false
+}
+
+// bytesStream adapts a raw envelope to io.WriterTo.
+type bytesStream []byte
+
+// WriteTo implements io.WriterTo.
+//
+//lint:hotpath
+func (b bytesStream) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// Len returns the stream's byte length (mirrors rep.Streamed).
+func (b bytesStream) Len() int { return len(b) }
 
 // Handler processes an invocation. Implementations call next to
 // continue the chain, or populate ictx.Result and return without
@@ -100,6 +141,14 @@ type Options struct {
 	// sequence into Context.ResponseEvents during the response parse
 	// (one tokenization, teed to recorder and deserializer).
 	RecordEvents bool
+
+	// AcceptStream marks every invocation of this Call as stream-
+	// capable (Context.AcceptStream): cache hits may yield an
+	// io.WriterTo Result from a streaming representation instead of a
+	// decoded object. Set it only when the consumer relays bytes
+	// (renders, proxies, re-serves) rather than computing on the
+	// decoded result.
+	AcceptStream bool
 
 	// Handlers is the chain installed in front of the pivot, outermost
 	// first.
@@ -148,6 +197,13 @@ type Call struct {
 	handlerNames []string
 	timed        bool
 	now          func() time.Time
+
+	// chain is the handler chain composed once at construction: every
+	// closure captures only per-Call invariants (handler, successor,
+	// receiver), so one chain serves all invocations, including
+	// concurrent ones. Building it per call cost 2 allocs on every
+	// cached hit (DESIGN.md §5i's alloc hunt).
+	chain Invoker
 }
 
 // NewCall builds a Call. codec must have all complex types of the
@@ -160,7 +216,7 @@ func NewCall(codec *soap.Codec, tr transport.Transport, endpoint, namespace, ope
 	for i, h := range opts.Handlers {
 		names[i] = fmt.Sprintf("%T", h)
 	}
-	return &Call{
+	c := &Call{
 		codec:        codec,
 		tr:           tr,
 		endpoint:     endpoint,
@@ -172,6 +228,8 @@ func NewCall(codec *soap.Codec, tr transport.Transport, endpoint, namespace, ope
 		timed:        opts.Obs != nil || opts.Tracer != nil,
 		now:          clock.Or(opts.Clock),
 	}
+	c.chain = c.buildChain()
+	return c
 }
 
 // observe records one stage into the registry and tracer; callers gate
@@ -193,18 +251,24 @@ func (c *Call) Operation() string { return c.operation }
 // Endpoint returns the target endpoint URL.
 func (c *Call) Endpoint() string { return c.endpoint }
 
+// newContext builds the per-invocation context.
+func (c *Call) newContext(ctx context.Context, params []soap.Param) *Context {
+	return &Context{
+		Ctx:          ctx,
+		Endpoint:     c.endpoint,
+		Namespace:    c.namespace,
+		Operation:    c.operation,
+		SOAPAction:   c.soapAction,
+		Params:       params,
+		AcceptStream: c.opts.AcceptStream,
+	}
+}
+
 // Invoke performs the call with the given parameters and returns the
 // response application object.
 func (c *Call) Invoke(ctx context.Context, params ...soap.Param) (any, error) {
-	ictx := &Context{
-		Ctx:        ctx,
-		Endpoint:   c.endpoint,
-		Namespace:  c.namespace,
-		Operation:  c.operation,
-		SOAPAction: c.soapAction,
-		Params:     params,
-	}
-	if err := c.run(ictx); err != nil {
+	ictx := c.newContext(ctx, params)
+	if err := c.chain(ictx); err != nil {
 		return nil, err
 	}
 	return ictx.Result, nil
@@ -213,22 +277,18 @@ func (c *Call) Invoke(ctx context.Context, params ...soap.Param) (any, error) {
 // InvokeContext performs the call and returns the full invocation
 // context (tests and benchmarks inspect CacheHit and the raw XML).
 func (c *Call) InvokeContext(ctx context.Context, params ...soap.Param) (*Context, error) {
-	ictx := &Context{
-		Ctx:        ctx,
-		Endpoint:   c.endpoint,
-		Namespace:  c.namespace,
-		Operation:  c.operation,
-		SOAPAction: c.soapAction,
-		Params:     params,
-	}
-	if err := c.run(ictx); err != nil {
+	ictx := c.newContext(ctx, params)
+	if err := c.chain(ictx); err != nil {
 		return nil, err
 	}
 	return ictx, nil
 }
 
-// run drives the handler chain and terminal pivot.
-func (c *Call) run(ictx *Context) error {
+// buildChain composes the handler chain and terminal pivot once, at
+// construction. Every closure captures only invariants, so the chain
+// is safe for concurrent invocations and a cached hit pays no
+// per-call closure allocations.
+func (c *Call) buildChain() Invoker {
 	chain := c.pivot
 	if b := c.opts.Breaker; b != nil {
 		// Innermost handler: only invocations that miss every cache
@@ -257,7 +317,7 @@ func (c *Call) run(ictx *Context) error {
 			}
 		}
 	}
-	return chain(ictx)
+	return chain
 }
 
 // pivot is the terminal handler: serialize, send, parse, deserialize.

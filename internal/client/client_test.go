@@ -1,8 +1,10 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -273,5 +275,87 @@ func TestServiceDefinitionsAccessor(t *testing.T) {
 	}
 	if svc.Definitions() != defs {
 		t.Error("Definitions accessor broken")
+	}
+}
+
+// TestAcceptStreamPropagates: Options.AcceptStream must reach the
+// invocation context, where representation Applicable gates read it.
+func TestAcceptStreamPropagates(t *testing.T) {
+	call, _, _ := newFixture(t, Options{AcceptStream: true})
+	ictx, err := call.InvokeContext(context.Background(), soap.Param{Name: "symbol", Value: "GOOG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ictx.AcceptStream {
+		t.Error("AcceptStream not copied onto the invocation context")
+	}
+	plain, _, _ := newFixture(t, Options{})
+	ictx2, err := plain.InvokeContext(context.Background(), soap.Param{Name: "symbol", Value: "GOOG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ictx2.AcceptStream {
+		t.Error("AcceptStream set without the option")
+	}
+}
+
+// TestContextStreamFallsBackToResponseXML: on a miss (or any
+// invocation that reached the transport) Stream adapts the captured
+// envelope, so stream consumers get bytes whether or not a streaming
+// representation served them.
+func TestContextStreamFallsBackToResponseXML(t *testing.T) {
+	call, _, _ := newFixture(t, Options{AcceptStream: true})
+	ictx, err := call.InvokeContext(context.Background(), soap.Param{Name: "symbol", Value: "GOOG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, ok := ictx.Stream()
+	if !ok {
+		t.Fatal("no stream for an invocation that captured ResponseXML")
+	}
+	var buf bytes.Buffer
+	n, err := wt.WriteTo(&buf)
+	if err != nil || n != int64(len(ictx.ResponseXML)) {
+		t.Fatalf("WriteTo: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), ictx.ResponseXML) {
+		t.Error("streamed bytes diverge from the captured envelope")
+	}
+}
+
+// streamedResult is a stand-in for a streaming representation's
+// payload placed in Result by a cache hit.
+type streamedResult struct{ data string }
+
+func (s *streamedResult) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, s.data)
+	return int64(n), err
+}
+
+// TestContextStreamPrefersStreamedResult: when a streaming
+// representation put a replayable payload in Result, Stream returns it
+// rather than re-adapting ResponseXML.
+func TestContextStreamPrefersStreamedResult(t *testing.T) {
+	ictx := &Context{Result: &streamedResult{data: "payload"}, ResponseXML: []byte("envelope")}
+	wt, ok := ictx.Stream()
+	if !ok {
+		t.Fatal("no stream")
+	}
+	var buf bytes.Buffer
+	if _, err := wt.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "payload" {
+		t.Errorf("streamed %q, want the Result payload", buf.String())
+	}
+}
+
+// TestContextStreamAbsent: an object-representation hit carries
+// neither a WriterTo result nor envelope bytes; Stream must say so
+// instead of fabricating an empty stream.
+func TestContextStreamAbsent(t *testing.T) {
+	ictx := &Context{Result: &quote{Symbol: "GOOG"}}
+	if _, ok := ictx.Stream(); ok {
+		t.Error("Stream reported ok with no streamable source")
 	}
 }

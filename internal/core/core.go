@@ -902,6 +902,7 @@ func (c *Cache) lookup(d keyDigest, op string) (any, bool) {
 		start = c.now()
 	}
 	sh := c.shard(d)
+	//lint:ignore hotpath the per-shard lock is the design: LRU move-to-front mutates on every hit, and sharding bounds contention
 	sh.mu.Lock()
 	e, ok := sh.table[d]
 	if !ok {
@@ -957,6 +958,7 @@ func (c *Cache) lookup(d keyDigest, op string) (any, bool) {
 	if !ok {
 		// A payload that no longer loads is dropped; report a miss so
 		// the pivot refills the entry.
+		//lint:ignore hotpath load-failure path only — runs once per corrupt entry, never on a served hit
 		sh.mu.Lock()
 		if cur, ok := sh.table[d]; ok && cur == e {
 			sh.removeLocked(cur)

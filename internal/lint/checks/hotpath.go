@@ -21,7 +21,11 @@ import (
 //     heap);
 //   - closures capturing enclosing locals (the captured variables
 //     escape, and the closure header itself may allocate);
-//   - defer inside a loop (deferred frames accumulate until return).
+//   - defer inside a loop (deferred frames accumulate until return);
+//   - acquiring a sync.Mutex or sync.RWMutex (a contended lock turns
+//     the lock-free replay path into a serialization point; hot-path
+//     state must be immutable, atomic, or pooled — sync.Pool is fine,
+//     its fast path is per-P and lock-free).
 //
 // The annotation is a contract, not a hint: benchmarks guard the
 // aggregate allocs/op number, and this analyzer points at the exact
@@ -32,8 +36,8 @@ func HotPath() *lint.Analyzer {
 	return &lint.Analyzer{
 		Name: "hotpath",
 		Doc: "functions annotated //lint:hotpath must not call fmt, concatenate " +
-			"strings, box values into interfaces, capture locals in closures, or " +
-			"defer in loops",
+			"strings, box values into interfaces, capture locals in closures, " +
+			"defer in loops, or acquire mutexes",
 		Run: runHotPath,
 	}
 }
@@ -124,6 +128,11 @@ func checkHotCall(pass *lint.Pass, file *ast.File, fn *ast.FuncDecl, call *ast.C
 	info := pass.Pkg.Info
 
 	if obj := calleeObject(info, call); obj != nil {
+		if fobj, ok := obj.(*types.Func); ok && isMutexAcquire(fobj) {
+			pass.Reportf(call.Pos(),
+				"%s.%s in hot-path function %s serializes the lock-free path under contention; use immutable state, atomics, or a sync.Pool", mutexRecvName(fobj), fobj.Name(), fn.Name.Name)
+			return
+		}
 		// Only fmt's package-level formatting functions reflect; a
 		// method declared on a fmt interface (Stringer.String) is the
 		// dynamic type's own code.
@@ -179,6 +188,47 @@ func checkHotCall(pass *lint.Pass, file *ast.File, fn *ast.FuncDecl, call *ast.C
 				"argument boxes a non-pointer value into an interface parameter in hot-path function %s", fn.Name.Name)
 		}
 	}
+}
+
+// isMutexAcquire reports whether fobj is a lock-acquiring method of
+// sync.Mutex, sync.RWMutex, or the sync.Locker interface. Unlock is
+// deliberately not matched — an acquisition is always upstream of it
+// and one diagnostic per lock reads better than two — and sync.Pool
+// stays exempt: its Get/Put fast path is per-P and lock-free.
+func isMutexAcquire(fobj *types.Func) bool {
+	switch fobj.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+	default:
+		return false
+	}
+	return mutexRecvName(fobj) != ""
+}
+
+// mutexRecvName returns the sync lock type fobj is declared on
+// ("sync.Mutex", "sync.RWMutex", "sync.Locker"), or "" for any other
+// receiver.
+func mutexRecvName(fobj *types.Func) string {
+	recv := fobj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "Locker":
+		return "sync." + obj.Name()
+	}
+	return ""
 }
 
 // boxes reports whether passing arg to an interface-typed slot heap-

@@ -4,6 +4,7 @@ package hotpath
 import (
 	"fmt"
 	"strconv"
+	"sync"
 )
 
 func sink(v any)   {}
@@ -38,6 +39,39 @@ func hot(op string, n int) string {
 	_ = v
 
 	return msg
+}
+
+type guarded struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	l   sync.Locker
+	val int
+}
+
+// locked trips the mutex rule on every acquisition flavor.
+//
+//lint:hotpath
+func locked(g *guarded) int {
+	g.mu.Lock() // want "sync.Mutex.Lock in hot-path function locked"
+	g.mu.Unlock()
+	g.rw.RLock() // want "sync.RWMutex.RLock in hot-path function locked"
+	g.rw.RUnlock()
+	if g.rw.TryLock() { // want "sync.RWMutex.TryLock in hot-path function locked"
+		g.rw.Unlock()
+	}
+	g.l.Lock() // want "sync.Locker.Lock in hot-path function locked"
+	g.l.Unlock()
+	return g.val
+}
+
+// pooled shows the sanctioned replacement: sync.Pool's per-P fast path
+// is lock-free and stays exempt.
+//
+//lint:hotpath
+func pooled(p *sync.Pool, data []byte) {
+	buf := p.Get().(*[]byte)
+	*buf = append((*buf)[:0], data...)
+	p.Put(buf)
 }
 
 // allowed shows the clean spellings of the same operations.

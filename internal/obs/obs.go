@@ -81,6 +81,18 @@ const (
 	StageServerLookup Stage = "server-lookup"
 	// StageServerStore is the server-side response cache fill.
 	StageServerStore Stage = "server-store"
+	// StageServerStream is a server-side response cache hit replayed
+	// straight into the response writer via the body store's streaming
+	// fast path (no intermediate []byte materialization).
+	StageServerStream Stage = "server-stream"
+	// StageTemplateBuild is a differential-serialization fill that had
+	// to serialize in full and record a new splice template (first fill
+	// of a response shape).
+	StageTemplateBuild Stage = "template-build"
+	// StageTemplateSplice is a differential-serialization fill that
+	// reused an interned template and paid only text-value escaping —
+	// the splice wins Figure 7 targets.
+	StageTemplateSplice Stage = "template-splice"
 	// StageRepProbe is one adaptive-selector probe of a candidate value
 	// representation: a Store plus one Load, timed off the fill path
 	// (representation = store name).

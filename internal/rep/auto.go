@@ -13,6 +13,7 @@ import (
 // time it classifies each result and delegates to the best applicable
 // representation:
 //
+//	0) stream-accepting consumer  → raw response replay (pre-empts all)
 //	a) immutable types            → pass by reference
 //	b) Cloner implementations     → copy by clone (generated classes)
 //	c) bean-type object graphs    → copy by reflection
@@ -34,14 +35,21 @@ import (
 // the representation that produced them.
 type AutoStore struct {
 	reg *typemap.Registry
-	// chain is the Section 6 preference order; classify picks a start
-	// index and Store cascades from there on ErrNotApplicable.
-	chain [6]ValueStore
+	// chain is the Section 6 preference order (prefixed by the raw
+	// streaming representation for stream-accepting invocations);
+	// classify picks a start index and Store cascades from there on
+	// ErrNotApplicable.
+	chain [7]ValueStore
 }
 
-// Indexes into AutoStore.chain, in Section 6 preference order.
+// Indexes into AutoStore.chain. Raw replay leads: when the consumer
+// accepts a byte stream, replaying the captured envelope beats every
+// object representation (no copy-out at all); it predates the Section
+// 6 list, which only considered object results. The rest is Section 6
+// preference order.
 const (
-	autoRef = iota
+	autoRaw = iota
+	autoRef
 	autoClone
 	autoReflect
 	autoGob
@@ -55,7 +63,8 @@ var _ ValueStore = (*AutoStore)(nil)
 func NewAutoStore(reg *typemap.Registry, codec *soap.Codec) *AutoStore {
 	return &AutoStore{
 		reg: reg,
-		chain: [6]ValueStore{
+		chain: [7]ValueStore{
+			autoRaw:     NewRawStreamStore(),
 			autoRef:     NewRefStore(reg, false),
 			autoClone:   NewCloneCopyStore(),
 			autoReflect: NewReflectCopyStore(reg),
@@ -110,8 +119,13 @@ func (s *AutoStore) Classify(ictx *client.Context) string {
 	return s.chain[s.classify(ictx)].Name()
 }
 
-// classify picks the chain start index per the Section 6 decision list.
+// classify picks the chain start index per the Section 6 decision
+// list, after the one pre-Section 6 case: a stream-accepting consumer
+// with a captured envelope gets raw replay.
 func (s *AutoStore) classify(ictx *client.Context) int {
+	if ictx.AcceptStream && len(ictx.ResponseXML) > 0 {
+		return autoRaw
+	}
 	r := ictx.Result
 	if r == nil {
 		return autoRef // nil is trivially immutable

@@ -33,9 +33,14 @@ func (s *fakeChainStore) Load(payload any) (any, error) {
 	return payload, nil
 }
 
-// chainAuto builds an AutoStore whose chain is fully scripted.
+// chainAuto builds an AutoStore whose Section 6 chain (ref..xml) is
+// fully scripted; the leading raw slot gets a declining fake, so the
+// scripted indices keep their Section 6 positions.
 func chainAuto(f *fixture, stores [6]ValueStore) *AutoStore {
-	return &AutoStore{reg: f.reg, chain: stores}
+	var chain [7]ValueStore
+	chain[autoRaw] = &fakeChainStore{name: "raw", err: fmt.Errorf("raw: %w", ErrNotApplicable)}
+	copy(chain[autoRef:], stores[:])
+	return &AutoStore{reg: f.reg, chain: chain}
 }
 
 // cloneableBox is cloneable through its pointer type and mutable (the

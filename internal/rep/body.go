@@ -1,7 +1,9 @@
 package rep
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/sax"
@@ -26,11 +28,20 @@ type BodyStore interface {
 	Load(payload any) ([]byte, error)
 }
 
+// BodyStreamer is the optional BodyStore extension for the zero-copy
+// hit path: WriteBody replays a payload straight into the response
+// writer, skipping Load's []byte materialization. The server cache
+// type-asserts for it and streams when present.
+type BodyStreamer interface {
+	WriteBody(payload any, w io.Writer) (int64, error)
+}
+
 // RawBodyStore keeps the encoded bytes as-is: zero materialization
 // cost on a hit, full body size resident. The server cache's default.
 type RawBodyStore struct{}
 
 var _ BodyStore = RawBodyStore{}
+var _ BodyStreamer = RawBodyStore{}
 
 // NewRawBodyStore returns the identity body representation.
 func NewRawBodyStore() RawBodyStore { return RawBodyStore{} }
@@ -52,6 +63,18 @@ func (RawBodyStore) Load(payload any) ([]byte, error) {
 		return nil, fmt.Errorf("rep: raw body store: payload is %T", payload)
 	}
 	return body, nil
+}
+
+// WriteBody implements BodyStreamer: one write, no copy.
+//
+//lint:hotpath
+func (RawBodyStore) WriteBody(payload any, w io.Writer) (int64, error) {
+	body, ok := payload.([]byte)
+	if !ok {
+		return 0, errRawBodyPayload
+	}
+	n, err := w.Write(body)
+	return int64(n), err
 }
 
 // CompactBodyStore parses the encoded body into a SAX event sequence
@@ -93,15 +116,121 @@ func (CompactBodyStore) Load(payload any) ([]byte, error) {
 	return []byte(doc), nil
 }
 
+// TemplateBodyStore is the server-side differential-serialization
+// representation (DESIGN.md §5i): bodies of the same response shape
+// share one interned splice skeleton, each entry holds only its escaped
+// text values, and a hit streams by memcpy interleave through a pooled
+// buffer. Compared with CompactBodyStore it trades slightly more
+// resident memory for a hit path with no event replay and no escaping
+// scan.
+type TemplateBodyStore struct {
+	tc *templateCache
+}
+
+// splicedBody pairs a spliced document with the verbatim prologue (XML
+// declaration plus trailing whitespace) of the original body. The sax
+// event model does not carry the declaration — parse skips it, the
+// writer never emits one — so the prologue is kept here to make a
+// served hit byte-identical to the handler's response.
+type splicedBody struct {
+	prologue string
+	doc      *SplicedResponse
+}
+
+// xmlPrologue returns the leading XML declaration (and any whitespace
+// separating it from the root element) of body, or "" when there is
+// none.
+func xmlPrologue(body []byte) string {
+	if !bytes.HasPrefix(body, []byte("<?xml")) {
+		return ""
+	}
+	end := bytes.Index(body, []byte("?>"))
+	if end < 0 {
+		return ""
+	}
+	end += 2
+	for end < len(body) {
+		switch body[end] {
+		case ' ', '\t', '\r', '\n':
+			end++
+			continue
+		}
+		break
+	}
+	return string(body[:end])
+}
+
+var _ BodyStore = (*TemplateBodyStore)(nil)
+var _ BodyStreamer = (*TemplateBodyStore)(nil)
+
+// NewTemplateBodyStore returns the splice-template body representation.
+func NewTemplateBodyStore() *TemplateBodyStore {
+	return &TemplateBodyStore{tc: newTemplateCache()}
+}
+
+// Name implements BodyStore.
+func (s *TemplateBodyStore) Name() string { return "XML template (splice)" }
+
+// Store implements BodyStore.
+func (s *TemplateBodyStore) Store(body []byte) (any, int, error) {
+	events, err := sax.Record(body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rep: template body store: %w", err)
+	}
+	p, resident, err := s.tc.spliceFor(events)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rep: template body store: %w", err)
+	}
+	prologue := xmlPrologue(body)
+	return &splicedBody{prologue: prologue, doc: p}, resident + len(prologue), nil
+}
+
+// Load implements BodyStore.
+func (s *TemplateBodyStore) Load(payload any) ([]byte, error) {
+	p, ok := payload.(*splicedBody)
+	if !ok {
+		return nil, fmt.Errorf("rep: template body store: payload is %T", payload)
+	}
+	out := make([]byte, 0, len(p.prologue)+p.doc.Len())
+	out = append(out, p.prologue...)
+	return p.doc.tpl.AppendSplice(out, p.doc.values), nil
+}
+
+// WriteBody implements BodyStreamer: prologue then spliced document,
+// through the shared splice buffer pool.
+//
+//lint:hotpath
+func (s *TemplateBodyStore) WriteBody(payload any, w io.Writer) (int64, error) {
+	p, ok := payload.(*splicedBody)
+	if !ok {
+		return 0, errSplicedPayload
+	}
+	var written int64
+	if p.prologue != "" {
+		n, err := io.WriteString(w, p.prologue)
+		written = int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	n, err := p.doc.WriteTo(w)
+	return written + n, err
+}
+
+// Stats snapshots the store's template interner.
+func (s *TemplateBodyStore) Stats() TemplateStats { return s.tc.stats() }
+
 // BodyStoreFor resolves a server body representation by name:
-// "raw" (default) or "compact-sax".
+// "raw" (default), "compact-sax", or "xmltmpl".
 func BodyStoreFor(name string) (BodyStore, error) {
 	switch strings.ToLower(name) {
 	case "", "raw":
 		return NewRawBodyStore(), nil
 	case "compact-sax", "compactsax", "compact":
 		return NewCompactBodyStore(), nil
+	case "xmltmpl", "template", "tmpl":
+		return NewTemplateBodyStore(), nil
 	default:
-		return nil, fmt.Errorf("rep: unknown body representation %q (have raw, compact-sax)", name)
+		return nil, fmt.Errorf("rep: unknown body representation %q (have raw, compact-sax, xmltmpl)", name)
 	}
 }

@@ -301,4 +301,20 @@ func (r *Registry) registerBuiltins() {
 		Name: "ref", Store: NewRefStore(types, false), Info: valueRows[5],
 		Applicable: func(ictx *client.Context) bool { return info(ictx).IsImmutable },
 	})
+	// The streaming representations (DESIGN.md §5i) are gated on the
+	// invocation's consent (Context.AcceptStream): their hits yield
+	// byte streams, not decoded objects, so only consumers that declared
+	// they relay bytes may be served by them.
+	_ = r.RegisterValue(ValueSpec{
+		Name: "raw", Store: NewRawStreamStore(), Info: valueRows[6],
+		Applicable: func(ictx *client.Context) bool {
+			return ictx.AcceptStream && len(ictx.ResponseXML) > 0
+		},
+	})
+	_ = r.RegisterValue(ValueSpec{
+		Name: "xmltmpl", Store: NewTemplateStore(), Info: valueRows[7],
+		Applicable: func(ictx *client.Context) bool {
+			return ictx.AcceptStream && (len(ictx.ResponseEvents) > 0 || len(ictx.ResponseXML) > 0)
+		},
+	})
 }

@@ -150,12 +150,12 @@ func TestRegistryRegisterTypeDelegates(t *testing.T) {
 func TestRegistryNamesAndOrder(t *testing.T) {
 	_, r := newTestRegistry(t)
 	values := r.Values()
-	if len(values) != 9 {
-		t.Fatalf("builtin value specs = %d, want 9", len(values))
+	if len(values) != 11 {
+		t.Fatalf("builtin value specs = %d, want 11", len(values))
 	}
 	// Registration order follows Table 3: message-level representations
-	// first, pass-by-reference last.
-	if values[0].Name != "xml" || values[len(values)-1].Name != "ref" {
+	// first, pass-by-reference, then the streaming additions (§5i).
+	if values[0].Name != "xml" || values[len(values)-1].Name != "xmltmpl" {
 		t.Errorf("order = %s ... %s", values[0].Name, values[len(values)-1].Name)
 	}
 	for _, spec := range values {

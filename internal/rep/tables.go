@@ -65,5 +65,15 @@ func ValueRepresentations() []RepresentationInfo {
 			Method:         "None (pass by reference)",
 			Limitation:     "Read-only or immutable objects only",
 		},
+		{
+			Representation: "Serialized response bytes",
+			Method:         "Not required (exact bytes replayed to the writer)",
+			Limitation:     "Stream-accepting consumers only (hit yields bytes, not an object)",
+		},
+		{
+			Representation: "XML splice template",
+			Method:         "Differential serialization (shared skeleton, spliced text values)",
+			Limitation:     "Stream-accepting consumers; wins when response shapes repeat",
+		},
 	}
 }

@@ -550,8 +550,8 @@ func TestRepresentationMatrices(t *testing.T) {
 	if got := len(KeyRepresentations()); got != 3 {
 		t.Errorf("key representations = %d, want 3", got)
 	}
-	if got := len(ValueRepresentations()); got != 6 {
-		t.Errorf("value representations = %d, want 6", got)
+	if got := len(ValueRepresentations()); got != 8 {
+		t.Errorf("value representations = %d, want 8", got)
 	}
 	for _, r := range append(KeyRepresentations(), ValueRepresentations()...) {
 		if r.Representation == "" || r.Method == "" || r.Limitation == "" {

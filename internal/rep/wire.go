@@ -30,13 +30,16 @@ type WireStore interface {
 }
 
 // wirePreference is the static priority among wire-capable
-// representations, used until the cost model has samples: binary
-// serialization (compact payloads, cheap decode per Table 7), then the
-// compact SAX sequence (no type limitation beyond message capture),
-// then the raw XML message (universal), then gob (encoder overhead
-// inverts the ordering at these message sizes; see the ablation
-// benchmarks).
-var wirePreference = []string{"binser", "compact-sax", "xml", "gob"}
+// representations, used until the cost model has samples. The
+// streaming representations lead — their wire form is the response
+// itself, so a remote tier ships them with zero transcoding — but
+// both are gated on Context.AcceptStream, so non-stream consumers
+// start at binary serialization (compact payloads, cheap decode per
+// Table 7), then the compact SAX sequence (no type limitation beyond
+// message capture), then the raw XML message (universal), then gob
+// (encoder overhead inverts the ordering at these message sizes; see
+// the ablation benchmarks).
+var wirePreference = []string{"raw", "xmltmpl", "binser", "compact-sax", "xml", "gob"}
 
 // WireSpecs returns the registered wire-capable value specs, the
 // static preference order first, any further registered WireStores in

@@ -1,6 +1,7 @@
 package rep
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 	"time"
@@ -23,8 +24,8 @@ func TestWireStoresRoundTrip(t *testing.T) {
 	ictx := f.ictx(t, "doGetItem", want)
 
 	specs := reg.WireSpecs()
-	if len(specs) != 4 {
-		t.Fatalf("WireSpecs: got %d specs, want 4 (binser, compact-sax, xml, gob)", len(specs))
+	if len(specs) != 6 {
+		t.Fatalf("WireSpecs: got %d specs, want 6 (raw, xmltmpl, binser, compact-sax, xml, gob)", len(specs))
 	}
 	for _, spec := range specs {
 		ws := spec.Store.(WireStore)
@@ -44,6 +45,18 @@ func TestWireStoresRoundTrip(t *testing.T) {
 		got, err := spec.Store.Load(back)
 		if err != nil {
 			t.Fatalf("%s: Load: %v", spec.Name, err)
+		}
+		if st, ok := got.(Streamed); ok {
+			// Streaming representations round-trip bytes, not objects:
+			// the decoded payload must replay exactly the wire form.
+			var buf bytes.Buffer
+			if n, err := st.WriteTo(&buf); err != nil || n != int64(len(data)) {
+				t.Fatalf("%s: WriteTo: n=%d err=%v (want %d bytes)", spec.Name, n, err, len(data))
+			}
+			if !bytes.Equal(buf.Bytes(), data) {
+				t.Errorf("%s: streamed round trip diverges from wire bytes", spec.Name)
+			}
+			continue
 		}
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("%s: round trip: got %+v, want %+v", spec.Name, got, want)

@@ -36,6 +36,9 @@ func (w *Writer) WriteXMLDecl() {
 // String returns the serialized document so far.
 func (w *Writer) String() string { return w.b.String() }
 
+// Len returns the number of bytes serialized so far.
+func (w *Writer) Len() int { return w.b.Len() }
+
 // Bytes returns the serialized document so far as a byte slice.
 func (w *Writer) Bytes() []byte { return []byte(w.b.String()) }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -26,6 +27,16 @@ type BodyStore interface {
 	Load(payload any) ([]byte, error)
 }
 
+// BodyStreamer is the optional BodyStore extension for the zero-copy
+// hit path: WriteBody replays a cached payload straight into the
+// response writer, skipping Load's []byte materialization. Declared
+// consumer-side like BodyStore; rep's body stores satisfy it
+// structurally. When the configured store implements it, ServeHTTP
+// serves hits by streaming.
+type BodyStreamer interface {
+	WriteBody(payload any, w io.Writer) (int64, error)
+}
+
 // rawBody is the default BodyStore: the encoded bytes as-is.
 type rawBody struct{}
 
@@ -43,6 +54,17 @@ func (rawBody) Load(payload any) ([]byte, error) {
 		return nil, fmt.Errorf("server: raw body payload is %T", payload)
 	}
 	return body, nil
+}
+
+// WriteBody implements BodyStreamer: a hit is one write of the cached
+// bytes, so even the default configuration takes the streaming path.
+func (rawBody) WriteBody(payload any, w io.Writer) (int64, error) {
+	body, ok := payload.([]byte)
+	if !ok {
+		return 0, fmt.Errorf("server: raw body payload is %T", payload)
+	}
+	n, err := w.Write(body)
+	return int64(n), err
 }
 
 // ResponseCache is the server-side counterpart of the client cache: it
@@ -224,6 +246,28 @@ func (c *ResponseCache) lookupEntry(key string) ([]byte, bool) {
 	return body, true
 }
 
+// lookupPayload returns a fresh entry's resident payload without
+// materializing the body — the streaming hit path's lookup. Counts
+// hits/misses and records the lookup stage like lookup.
+func (c *ResponseCache) lookupPayload(key, op string) (any, bool) {
+	var start time.Time
+	if c.timed {
+		start = c.now()
+	}
+	c.mu.Lock()
+	payload, ok := c.lookupPayloadLocked(key)
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	if c.timed {
+		c.observe(op, obs.StageServerLookup, c.now().Sub(start), nil)
+	}
+	return payload, ok
+}
+
 // lookupPayloadLocked returns the resident payload for a fresh entry.
 func (c *ResponseCache) lookupPayloadLocked(key string) (any, bool) {
 	e, ok := c.table[key]
@@ -278,9 +322,50 @@ func (c *ResponseCache) storeEntry(key string, body []byte) {
 }
 
 // ServeHTTP adapts the caching handler to HTTP, mirroring
-// Dispatcher.ServeHTTP (including validator behaviour).
+// Dispatcher.ServeHTTP (including validator behaviour). When the body
+// store implements BodyStreamer, hits replay the resident payload
+// straight into the response writer — no []byte materialization
+// between the cache and the wire.
 func (c *ResponseCache) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	serveSOAP(w, r, c.inner, c.Handle)
+	streamer, ok := c.body.(BodyStreamer)
+	if !ok {
+		serveSOAP(w, r, c.inner, c.Handle)
+		return
+	}
+	body, lastMod, ttl, done := soapPreamble(w, r, c.inner)
+	if done {
+		return
+	}
+	op, err := soap.SniffOperation(body)
+	if err != nil || op == "" || (c.cacheable != nil && !c.cacheable(op)) {
+		resp, isFault, herr := c.inner.Handle(body)
+		writeSOAPResponse(w, lastMod, ttl, resp, isFault, herr)
+		return
+	}
+	key := string(body)
+	if payload, hit := c.lookupPayload(key, op); hit {
+		var start time.Time
+		if c.timed {
+			start = c.now()
+		}
+		setSOAPHeaders(w, lastMod, ttl)
+		n, werr := streamer.WriteBody(payload, w)
+		if c.timed {
+			c.observe(op, obs.StageServerStream, c.now().Sub(start), werr)
+		}
+		if werr == nil || n > 0 {
+			// Served (or the client went away mid-write — nothing left
+			// to do either way).
+			return
+		}
+		// The store could not replay the payload and nothing was
+		// written: fall through and refill from the handler.
+	}
+	resp, isFault, herr := c.inner.Handle(body)
+	if herr == nil && !isFault {
+		c.store(key, op, resp)
+	}
+	writeSOAPResponse(w, lastMod, ttl, resp, isFault, herr)
 }
 
 // LRU plumbing (same shape as the client cache's, duplicated to keep

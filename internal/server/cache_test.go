@@ -3,10 +3,14 @@ package server
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rep"
 	"repro/internal/soap"
 	"repro/internal/typemap"
@@ -280,5 +284,125 @@ func TestResponseCacheBodyStoreFailureSkipsCaching(t *testing.T) {
 	}
 	if c.Len() != 0 {
 		t.Errorf("cache holds %d entries, want 0", c.Len())
+	}
+}
+
+// postSOAP posts one SOAP request to the cache's HTTP surface.
+func postSOAP(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/xml", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestResponseCacheStreamingHTTPHit: the default raw body store
+// implements BodyStreamer, so an HTTP hit replays the cached bytes
+// straight into the response writer. The streamed hit must be
+// byte-identical to the miss response and attributed to the
+// server-stream stage.
+func TestResponseCacheStreamingHTTPHit(t *testing.T) {
+	obsReg := obs.NewRegistry()
+	c, codec, calls := newCachedFixture(t, ResponseCacheConfig{Obs: obsReg})
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	req, _ := codec.EncodeRequest(ns, "search", []soap.Param{{Name: "q", Value: "streamed"}})
+	s1, b1 := postSOAP(t, srv.URL, req)
+	s2, b2 := postSOAP(t, srv.URL, req)
+	if s1 != http.StatusOK || s2 != http.StatusOK {
+		t.Fatalf("status = %d, %d", s1, s2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("streamed hit diverges from the miss response")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("handler calls = %d, want 1", calls.Load())
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+	h := obsReg.StageHistogram(obs.StageServerStream, "")
+	if h == nil || h.Snapshot().Count != 1 {
+		t.Error("hit not attributed to the server-stream stage")
+	}
+	msg, err := codec.DecodeEnvelope(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Result().(*pair).Value != "streamed" {
+		t.Errorf("result = %+v", msg.Result())
+	}
+}
+
+// TestResponseCacheTemplateBodyHTTP: with the xmltmpl resident
+// representation, entries of the same response shape share one spliced
+// skeleton and HTTP hits stream the spliced document.
+func TestResponseCacheTemplateBodyHTTP(t *testing.T) {
+	ts := rep.NewTemplateBodyStore()
+	c, codec, calls := newCachedFixture(t, ResponseCacheConfig{Body: ts})
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	for _, q := range []string{"first", "second"} {
+		req, _ := codec.EncodeRequest(ns, "search", []soap.Param{{Name: "q", Value: q}})
+		_, miss := postSOAP(t, srv.URL, req)
+		_, hit := postSOAP(t, srv.URL, req)
+		if !bytes.Equal(miss, hit) {
+			t.Errorf("q=%s: spliced hit diverges from the miss response", q)
+		}
+		msg, err := codec.DecodeEnvelope(hit)
+		if err != nil {
+			t.Fatalf("q=%s: spliced hit does not decode: %v", q, err)
+		}
+		if msg.Result().(*pair).Value != q {
+			t.Errorf("q=%s: result = %+v", q, msg.Result())
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("handler calls = %d, want 2", calls.Load())
+	}
+	if s := ts.Stats(); s.Skeletons != 1 {
+		t.Errorf("skeletons = %d, want 1 shared across both entries", s.Skeletons)
+	}
+}
+
+// brokenStreamer stores and loads like the raw body but cannot replay:
+// WriteBody fails before writing anything.
+type brokenStreamer struct{ rawBody }
+
+func (brokenStreamer) WriteBody(any, io.Writer) (int64, error) {
+	return 0, fmt.Errorf("replay failed")
+}
+
+// TestResponseCacheStreamFailureRefills: a payload the streamer cannot
+// replay (zero bytes written) must fall through to the handler, so the
+// client still gets a response.
+func TestResponseCacheStreamFailureRefills(t *testing.T) {
+	c, codec, calls := newCachedFixture(t, ResponseCacheConfig{Body: brokenStreamer{}})
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	req, _ := codec.EncodeRequest(ns, "search", []soap.Param{{Name: "q", Value: "x"}})
+	postSOAP(t, srv.URL, req)
+	status, body := postSOAP(t, srv.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("handler calls = %d, want 2 (refill after failed replay)", calls.Load())
+	}
+	msg, err := codec.DecodeEnvelope(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Result().(*pair).Value != "x" {
+		t.Errorf("result = %+v", msg.Result())
 	}
 }

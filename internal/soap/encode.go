@@ -3,6 +3,7 @@ package soap
 import (
 	"encoding/base64"
 	"fmt"
+	"io"
 	"reflect"
 	"strconv"
 	"strings"
@@ -53,6 +54,20 @@ func (c *Codec) EncodeResponse(targetNS, operation string, result any) ([]byte, 
 	return c.encodeCall(targetNS, operation+"Response", []Param{{Name: "return", Value: result}})
 }
 
+// EncodeResponseTo serializes an rpc/encoded response envelope
+// directly into w, skipping EncodeResponse's []byte materialization.
+// The envelope is built fully before the write, so an encode error
+// reaches the caller before any byte has gone out (the server can
+// still send a fault).
+func (c *Codec) EncodeResponseTo(w io.Writer, targetNS, operation string, result any) (int64, error) {
+	e, err := c.buildCall(targetNS, operation+"Response", []Param{{Name: "return", Value: result}})
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.WriteString(w, e.b.String())
+	return int64(n), err
+}
+
 // EncodeFault serializes a SOAP fault envelope.
 func (c *Codec) EncodeFault(f *Fault) ([]byte, error) {
 	e := c.newEncoder("")
@@ -74,6 +89,17 @@ func (c *Codec) EncodeFault(f *Fault) ([]byte, error) {
 // encodeCall writes a full envelope whose Body holds one wrapper
 // element containing the given params.
 func (c *Codec) encodeCall(targetNS, wrapper string, params []Param) ([]byte, error) {
+	e, err := c.buildCall(targetNS, wrapper, params)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(e.b.String()), nil
+}
+
+// buildCall builds a full envelope whose Body holds one wrapper
+// element containing the given params, returning the encoder for the
+// caller to drain (as bytes or straight into a writer).
+func (c *Codec) buildCall(targetNS, wrapper string, params []Param) (*encoder, error) {
 	e := c.newEncoder(targetNS)
 	e.openEnvelope(targetNS)
 
@@ -90,7 +116,7 @@ func (c *Codec) encodeCall(targetNS, wrapper string, params []Param) ([]byte, er
 	e.b.WriteString("</" + wrapperName + ">")
 
 	e.closeEnvelope()
-	return []byte(e.b.String()), nil
+	return e, nil
 }
 
 // openEnvelope writes the envelope and body start tags with the

@@ -507,3 +507,43 @@ func legalXML(s string) bool {
 	}
 	return true
 }
+
+// TestEncodeResponseTo: the streaming encoder must produce exactly the
+// bytes of EncodeResponse — it exists so the server can write a
+// response without an intermediate []byte copy, not to change the wire
+// form.
+func TestEncodeResponseTo(t *testing.T) {
+	c := newTestCodec(t)
+	orig := sampleResult()
+	want, err := c.EncodeResponse(testNS, "doGoogleSearch", orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := c.EncodeResponseTo(&buf, testNS, "doGoogleSearch", orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("n = %d, wrote %d", n, buf.Len())
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("streamed encoding diverges:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestEncodeResponseToErrorWritesNothing: an encoding failure must
+// surface before any byte reaches the writer, so the HTTP layer can
+// still send a clean 500.
+func TestEncodeResponseToErrorWritesNothing(t *testing.T) {
+	c := newTestCodec(t)
+	var buf bytes.Buffer
+	type unregistered struct{ X chan int }
+	n, err := c.EncodeResponseTo(&buf, testNS, "op", &unregistered{})
+	if err == nil {
+		t.Fatal("encoding an unregistered type succeeded")
+	}
+	if n != 0 || buf.Len() != 0 {
+		t.Errorf("failed encode wrote %d bytes (n=%d); must build fully before writing", buf.Len(), n)
+	}
+}
